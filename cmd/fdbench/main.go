@@ -1,0 +1,71 @@
+// Command fdbench regenerates the evaluation's figures and tables.
+//
+// Usage:
+//
+//	fdbench -list                 # show every experiment
+//	fdbench -run fig4             # run one experiment (text table)
+//	fdbench -run all -quick       # everything, reduced trials
+//	fdbench -run fig1 -format csv # machine-readable output
+//	fdbench -run fig6 -seed 7     # different random seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiments and exit")
+		run    = flag.String("run", "", "experiment id to run, or 'all'")
+		format = flag.String("format", "text", "output format: text or csv")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		quick  = flag.Bool("quick", false, "reduced trial counts")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.List() {
+			fmt.Printf("  %-14s %s\n", e.ID, e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nrun one with: fdbench -run <id>   (or -run all)")
+		}
+		return
+	}
+
+	var targets []bench.Experiment
+	if *run == "all" {
+		targets = bench.List()
+	} else {
+		e, err := bench.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		targets = []bench.Experiment{e}
+	}
+
+	cfg := bench.RunConfig{Seed: *seed, Quick: *quick}
+	for i, e := range targets {
+		if i > 0 {
+			fmt.Println()
+		}
+		res := e.Run(cfg)
+		var err error
+		if *format == "csv" {
+			err = res.Table.WriteCSV(os.Stdout)
+		} else {
+			err = res.Table.WriteText(os.Stdout)
+			fmt.Printf("shape: %s\n", res.Shape)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

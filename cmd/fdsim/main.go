@@ -1,0 +1,115 @@
+// Command fdsim runs a single configurable waveform-level full-duplex
+// backscatter link and prints per-frame statistics.
+//
+// Usage:
+//
+//	fdsim -frames 10 -dist 3 -rho 0.3 -chunk 32 -payload 256
+//	fdsim -interferer -duty 0.3 -early  # collision + early termination
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/phy"
+	"repro/internal/simrand"
+)
+
+func main() {
+	var (
+		frames  = flag.Int("frames", 10, "frames to transfer")
+		payload = flag.Int("payload", 256, "payload bytes per frame")
+		dist    = flag.Float64("dist", 2, "reader-tag distance (m)")
+		rho     = flag.Float64("rho", 0.3, "tag reflection coefficient")
+		chunk   = flag.Int("chunk", 32, "chunk size (bytes)")
+		txdbm   = flag.Float64("txdbm", 20, "reader transmit power (dBm)")
+		noise   = flag.Float64("noise", -100, "receiver noise (dBm)")
+		early   = flag.Bool("early", false, "early termination on NACK")
+		intf    = flag.Bool("interferer", false, "enable a co-channel interferer")
+		duty    = flag.Float64("duty", 0.3, "interferer duty cycle")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := core.LinkConfig{
+		Modem:        phy.OOK{SamplesPerChip: 4, Depth: 0.75},
+		DistanceM:    *dist,
+		Rho:          *rho,
+		ChunkSize:    uint8(*chunk),
+		TxPowerW:     dbmToW(*txdbm),
+		ReaderNoiseW: dbmToW(*noise),
+		TagNoiseW:    dbmToW(*noise),
+		Seed:         *seed,
+	}
+	if *intf {
+		cfg.Interferer = &core.InterfererConfig{
+			PowerW: 0.5, DistanceToTagM: 1.5 * *dist, DistanceToReaderM: 2 * *dist,
+			DutyCycle: *duty, BurstChunks: 2,
+		}
+	}
+	l, err := core.NewLink(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	src := simrand.New(*seed + 1)
+	data := make([]byte, *payload)
+	var delivered, aborted int
+	var fwdBits, fwdErrs, fbBits, fbErrs int
+	var used, full int64
+	for f := 0; f < *frames; f++ {
+		for i := range data {
+			data[i] = byte(src.IntN(256))
+		}
+		res, err := l.TransferFrame(data, core.TransferOptions{
+			EarlyTerminate: *early, PadChips: -1,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		status := "ok"
+		switch {
+		case !res.Acquired:
+			status = "NO-SYNC"
+		case res.Aborted:
+			status = fmt.Sprintf("ABORT@%d", res.AbortAfterChunk)
+		case !res.DeliveredOK:
+			status = "CORRUPT"
+		}
+		fmt.Printf("frame %2d seq=%3d %-9s chunks=%d fwdErrs=%d fbErrs=%d/%d airtime=%d/%d harvested=%.2euJ\n",
+			f, res.Header.Seq, status, len(res.Chunks),
+			res.ForwardBitErrors, res.FeedbackErrors, res.FeedbackBits,
+			res.SamplesUsed, res.SamplesFull, res.HarvestedJ*1e6)
+		if res.DeliveredOK {
+			delivered++
+		}
+		if res.Aborted {
+			aborted++
+		}
+		fwdBits += res.ForwardBits
+		fwdErrs += res.ForwardBitErrors
+		fbBits += res.FeedbackBits
+		fbErrs += res.FeedbackErrors
+		used += int64(res.SamplesUsed)
+		full += int64(res.SamplesFull)
+	}
+	fmt.Printf("\ndelivered %d/%d frames, aborted %d\n", delivered, *frames, aborted)
+	if fwdBits > 0 {
+		fmt.Printf("forward BER  %.3e (%d/%d)\n", float64(fwdErrs)/float64(fwdBits), fwdErrs, fwdBits)
+	}
+	if fbBits > 0 {
+		fmt.Printf("feedback BER %.3e (%d/%d)\n", float64(fbErrs)/float64(fbBits), fbErrs, fbBits)
+	}
+	if full > 0 {
+		fmt.Printf("airtime used %.1f%% of booked\n", 100*float64(used)/float64(full))
+	}
+}
+
+func dbmToW(dbm float64) float64 {
+	return math.Pow(10, dbm/10) / 1000
+}

@@ -1,0 +1,46 @@
+// Collision detection: backscatter tags cannot carrier-sense, so a
+// half-duplex reader transmits blindly through collisions and discovers
+// the loss only at the ACK timeout. With full-duplex feedback the
+// corrupted-chunk NACKs reveal the collision mid-frame; the reader
+// aborts, backs off, and retries when the channel clears. This example
+// sweeps the interferer's duty cycle and reports wasted airtime.
+package main
+
+import (
+	"fmt"
+
+	fdbackscatter "repro"
+)
+
+func main() {
+	params := fdbackscatter.MACParams{
+		PayloadBytes:   1500,
+		ChunkBytes:     64,
+		AbortThreshold: 2,  // abort after 2 consecutive NACKs
+		BackoffChunks:  24, // defer while the burst passes
+	}
+	blind := params
+	blind.AbortThreshold = 1 << 30 // never aborts
+
+	fmt.Println("wasted airtime fraction vs interferer load (3000 frames/point)")
+	fmt.Printf("%-10s  %-13s  %-12s  %-12s\n",
+		"burst_duty", "half-duplex", "fd-blind", "fd-detect")
+	for _, start := range []float64{0.002, 0.005, 0.01, 0.02, 0.05} {
+		mkLoss := func(seed uint64) fdbackscatter.Loss {
+			return fdbackscatter.NewBurstLoss(seed, start, 20, 1, 0.005)
+		}
+		duty := approximateDuty(start, 20)
+		sw := fdbackscatter.NewStopAndWaitProtocol(params).Run(3000, mkLoss(1))
+		fdBlind := fdbackscatter.NewFullDuplexProtocol(blind, 2).Run(3000, mkLoss(2))
+		fdDetect := fdbackscatter.NewFullDuplexProtocol(params, 3).Run(3000, mkLoss(3))
+		fmt.Printf("%-10.3f  %-13.3f  %-12.3f  %-12.3f\n",
+			duty, sw.WastedFraction(), fdBlind.WastedFraction(), fdDetect.WastedFraction())
+	}
+	fmt.Println("\nfd-detect stays lowest: a doomed frame stops within ~2 chunks,")
+	fmt.Println("while the half-duplex reader burns the whole frame plus the ACK.")
+}
+
+func approximateDuty(start, meanBurst float64) float64 {
+	busy := start * meanBurst
+	return busy / (1 + busy - start)
+}

@@ -1,0 +1,44 @@
+// Quickstart: transfer one frame over a full-duplex backscatter link and
+// watch the concurrent feedback arrive chunk by chunk.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fdbackscatter "repro"
+)
+
+func main() {
+	// A reader 2 m from a battery-free tag, default 915 MHz indoor
+	// propagation, 32-byte chunks.
+	link, err := fdbackscatter.NewLink(fdbackscatter.LinkConfig{
+		DistanceM: 2,
+		Rho:       0.3, // tag reflects 30% of incident power for feedback
+		ChunkSize: 32,
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	payload := []byte("Full-duplex backscatter: the tag ACKs every chunk while it is still receiving the next one.")
+	res, err := link.TransferFrame(payload, fdbackscatter.TransferOptions{
+		EarlyTerminate: true,
+		PadChips:       -1, // random pre-frame idle, exercises tag sync
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("tag acquired frame: %v (seq %d, %d chunks)\n",
+		res.Acquired, res.Header.Seq, len(res.Chunks))
+	for i, c := range res.Chunks {
+		fmt.Printf("  chunk %d: delivered=%v readerSawACK=%v margin=%.4f\n",
+			i, c.TagOK, c.ReaderSawBit && c.ReaderBit == 1, c.Margin)
+	}
+	fmt.Printf("payload delivered intact: %v\n", res.DeliveredOK && string(res.Payload) == string(payload))
+	fmt.Printf("feedback bits decoded concurrently with TX: %d (errors: %d)\n",
+		res.FeedbackBits, res.FeedbackErrors)
+	fmt.Printf("tag harvested %.3g uJ during the exchange\n", res.HarvestedJ*1e6)
+}

@@ -1,0 +1,36 @@
+// Rate adaptation: per-chunk feedback lets the reader react to a fade
+// within one chunk, where packet-level probing needs whole lost frames
+// to notice. This example runs both policies (plus fixed-rate anchors)
+// over the same correlated Rayleigh fading trace and prints throughput.
+package main
+
+import (
+	"fmt"
+
+	fdbackscatter "repro"
+)
+
+func main() {
+	const chunks = 100000
+	fmt.Println("throughput (payload bytes per base chunk-time), 100k chunks/point")
+	fmt.Printf("%-9s  %-10s  %-10s  %-11s  %-11s\n",
+		"mean_snr", "fd", "arf", "fixed-slow", "fixed-fast")
+	for _, snr := range []float64{4, 8, 12, 16, 20} {
+		cfg := fdbackscatter.AdaptConfig{
+			MeanSNRdB:   snr,
+			FadeRho:     0.97, // coherence ~ 30 chunk-times
+			FrameChunks: 48,   // ARF learns 48x slower than FD
+			Seed:        uint64(snr * 10),
+		}
+		fd := fdbackscatter.RunAdaptationTrace(cfg, "fd", chunks)
+		arf := fdbackscatter.RunAdaptationTrace(cfg, "arf", chunks)
+		slow := fdbackscatter.RunAdaptationTrace(cfg, "fixed-slow", chunks)
+		fast := fdbackscatter.RunAdaptationTrace(cfg, "fixed-fast", chunks)
+		fmt.Printf("%-9.0f  %-10.2f  %-10.2f  %-11.2f  %-11.2f\n",
+			snr,
+			fd.ThroughputBytesPerTime(), arf.ThroughputBytesPerTime(),
+			slow.ThroughputBytesPerTime(), fast.ThroughputBytesPerTime())
+	}
+	fmt.Println("\nfd tracks the fades chunk-by-chunk; arf only moves at frame")
+	fmt.Println("boundaries; the fixed anchors bracket the achievable range.")
+}

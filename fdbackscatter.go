@@ -1,0 +1,156 @@
+// Package fdbackscatter is a Go reproduction of "Full Duplex Backscatter"
+// (HotNets-XII, 2013): a backscatter receiver transmits low-rate feedback
+// while it receives, because its reflection is a slow amplitude ripple on
+// a signal the transmitter already knows. The package exposes the
+// system's three layers:
+//
+//   - the waveform-level link (Link): sample-accurate reader + battery-free
+//     tag + channel, demonstrating concurrent forward data and backscatter
+//     ACK/NACK with early termination;
+//   - the packet-level protocols (RunProtocol and the protocol
+//     constructors): full-duplex instantaneous feedback versus half-duplex
+//     stop-and-wait and block-ACK at scale;
+//   - the experiment harness (Experiments, RunExperiment): one runner per
+//     figure/table of the evaluation.
+//
+// Everything is deterministic given a seed and uses only the standard
+// library. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// the reproduced results.
+package fdbackscatter
+
+import (
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/rateadapt"
+	"repro/internal/simrand"
+)
+
+// Re-exported configuration and result types for the waveform link.
+type (
+	// LinkConfig configures a waveform-level full-duplex backscatter
+	// link (reader, tag, channel, optional interferer).
+	LinkConfig = core.LinkConfig
+	// InterfererConfig adds a co-channel interferer to a LinkConfig.
+	InterfererConfig = core.InterfererConfig
+	// Link is a configured link; create with NewLink.
+	Link = core.Link
+	// TransferOptions tune one frame exchange.
+	TransferOptions = core.TransferOptions
+	// TransferResult reports one frame exchange in detail.
+	TransferResult = core.TransferResult
+	// ChunkReport is the per-chunk ground truth vs observation record.
+	ChunkReport = core.ChunkReport
+	// OOK is the forward-link modem configuration.
+	OOK = phy.OOK
+)
+
+// NewLink builds a waveform-level link from the configuration.
+func NewLink(cfg LinkConfig) (*Link, error) { return core.NewLink(cfg) }
+
+// Packet-level protocol types.
+type (
+	// MACParams dimensions the packet-level protocols.
+	MACParams = mac.Params
+	// MACResult aggregates a protocol run.
+	MACResult = mac.Result
+	// Loss is a chunk loss process (NewIIDLoss, NewGilbertLoss,
+	// NewBurstLoss).
+	Loss = mac.Loss
+)
+
+// NewIIDLoss returns an independent per-chunk loss process.
+func NewIIDLoss(p float64, seed uint64) Loss {
+	return mac.NewIIDLoss(p, simrand.New(seed))
+}
+
+// NewGilbertLoss returns a bursty Gilbert-Elliott chunk loss process.
+func NewGilbertLoss(seed uint64, pGoodToBad, pBadToGood, lossGood, lossBad float64) Loss {
+	return mac.NewGilbertLoss(simrand.New(seed), pGoodToBad, pBadToGood, lossGood, lossBad)
+}
+
+// NewBurstLoss returns an interferer-style burst loss process.
+func NewBurstLoss(seed uint64, startProb, meanBurstChunks, hitProb, baseLoss float64) Loss {
+	return mac.NewBurstLoss(simrand.New(seed), startProb, meanBurstChunks, hitProb, baseLoss)
+}
+
+// NewFullDuplexProtocol returns the paper's protocol: per-chunk feedback
+// with immediate selective retransmission and early termination.
+func NewFullDuplexProtocol(p MACParams, seed uint64) mac.Protocol {
+	return &mac.FullDuplex{P: p, Seed: seed}
+}
+
+// NewStopAndWaitProtocol returns the half-duplex whole-frame baseline.
+func NewStopAndWaitProtocol(p MACParams) mac.Protocol {
+	return &mac.StopAndWait{P: p}
+}
+
+// NewBlockACKProtocol returns the half-duplex selective-repeat baseline.
+func NewBlockACKProtocol(p MACParams) mac.Protocol {
+	return &mac.BlockACK{P: p}
+}
+
+// Rate adaptation types.
+type (
+	// RateSpec is one rate-table entry for adaptation experiments.
+	RateSpec = rateadapt.RateSpec
+	// AdaptConfig configures a rate-adaptation trace run.
+	AdaptConfig = rateadapt.SimConfig
+	// AdaptResult summarises a trace run.
+	AdaptResult = rateadapt.TraceResult
+)
+
+// RunAdaptationTrace drives the named policy ("fd", "arf", or "fixed-N")
+// over nChunks chunk-times. Unknown names default to "fd".
+func RunAdaptationTrace(cfg AdaptConfig, policy string, nChunks int) AdaptResult {
+	n := len(cfg.Rates)
+	if n == 0 {
+		n = len(rateadapt.DefaultRates)
+	}
+	var a rateadapt.Adapter
+	switch policy {
+	case "arf":
+		a = rateadapt.NewARF(n)
+	case "fixed-slow":
+		a = &rateadapt.Fixed{Index: 0, RateName: "slow"}
+	case "fixed-fast":
+		a = &rateadapt.Fixed{Index: n - 1, RateName: "fast"}
+	default:
+		a = rateadapt.NewFullDuplex(n)
+	}
+	return rateadapt.RunTrace(cfg, a, nChunks)
+}
+
+// ExperimentInfo describes one reproducible figure/table.
+type ExperimentInfo struct {
+	ID, Title string
+}
+
+// Experiments lists every registered experiment.
+func Experiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, e := range bench.List() {
+		out = append(out, ExperimentInfo{ID: e.ID, Title: e.Title})
+	}
+	return out
+}
+
+// RunExperiment executes the experiment with the given id, writing its
+// table to w (text when csv is false) and returning the expected-shape
+// statement.
+func RunExperiment(id string, seed uint64, quick, csv bool, w io.Writer) (shape string, err error) {
+	e, err := bench.ByID(id)
+	if err != nil {
+		return "", err
+	}
+	res := e.Run(bench.RunConfig{Seed: seed, Quick: quick})
+	if csv {
+		err = res.Table.WriteCSV(w)
+	} else {
+		err = res.Table.WriteText(w)
+	}
+	return res.Shape, err
+}

@@ -1,0 +1,86 @@
+package fdbackscatter
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFacadeLinkRoundTrip(t *testing.T) {
+	l, err := NewLink(LinkConfig{Seed: 1, ChunkSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hello full duplex backscatter world, this is a frame")
+	res, err := l.TransferFrame(payload, TransferOptions{PadChips: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DeliveredOK || !bytes.Equal(res.Payload, payload) {
+		t.Fatal("facade link failed a clean transfer")
+	}
+}
+
+func TestFacadeProtocols(t *testing.T) {
+	p := MACParams{PayloadBytes: 512, ChunkBytes: 64}
+	for _, proto := range []struct {
+		name string
+		run  func() MACResult
+	}{
+		{"fd", func() MACResult {
+			return NewFullDuplexProtocol(p, 1).Run(50, iidLoss(0.1))
+		}},
+		{"sw", func() MACResult {
+			return NewStopAndWaitProtocol(p).Run(50, iidLoss(0.1))
+		}},
+		{"ba", func() MACResult {
+			return NewBlockACKProtocol(p).Run(50, iidLoss(0.1))
+		}},
+	} {
+		r := proto.run()
+		if r.FramesSent != 50 {
+			t.Fatalf("%s: sent %d", proto.name, r.FramesSent)
+		}
+	}
+}
+
+func iidLoss(p float64) Loss {
+	return NewIIDLoss(p, 9)
+}
+
+func TestFacadeAdaptation(t *testing.T) {
+	for _, policy := range []string{"fd", "arf", "fixed-slow", "fixed-fast", "unknown"} {
+		r := RunAdaptationTrace(AdaptConfig{MeanSNRdB: 12, Seed: 3}, policy, 2000)
+		if r.ChunksSent != 2000 {
+			t.Fatalf("%s: sent %d chunks", policy, r.ChunksSent)
+		}
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	infos := Experiments()
+	if len(infos) < 13 {
+		t.Fatalf("only %d experiments", len(infos))
+	}
+	var sb strings.Builder
+	shape, err := RunExperiment("fig4", 1, true, false, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shape == "" || !strings.Contains(sb.String(), "full_duplex") {
+		t.Fatalf("experiment output unexpected:\n%s", sb.String())
+	}
+	// CSV path.
+	sb.Reset()
+	if _, err := RunExperiment("tab1", 1, true, true, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "chunk_bytes,") {
+		t.Fatalf("CSV output unexpected: %s", sb.String())
+	}
+	// Unknown id.
+	if _, err := RunExperiment("nope", 1, true, false, io.Discard); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}

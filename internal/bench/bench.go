@@ -1,0 +1,103 @@
+// Package bench is the experiment harness: one runner per figure/table
+// of the evaluation, each regenerating the corresponding rows/series
+// from the DESIGN.md experiment index. cmd/fdbench and the top-level
+// benchmarks both drive this package.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// RunConfig tunes an experiment run.
+type RunConfig struct {
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Quick shrinks trial counts for CI/benchmark loops.
+	Quick bool
+}
+
+// trials scales an iteration count down in Quick mode.
+func (c RunConfig) trials(full int) int {
+	if c.Quick {
+		n := full / 10
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	return full
+}
+
+// Experiment is one reproducible figure or table.
+type Experiment struct {
+	// ID is the figure/table identifier from DESIGN.md (e.g. "fig4").
+	ID string
+	// Title is the one-line description shown in listings.
+	Title string
+	// Run executes the experiment and returns its table.
+	Run func(RunConfig) *Result
+}
+
+// Result bundles the experiment output with commentary on the expected
+// shape, for EXPERIMENTS.md-style reporting.
+type Result struct {
+	ID    string
+	Title string
+	// Table holds the regenerated rows.
+	Table *trace.Table
+	// Shape describes the qualitative result the paper reports and this
+	// run should reproduce.
+	Shape string
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment; called from init functions of the
+// per-figure files.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("bench: unknown experiment %q (use List)", id)
+	}
+	return e, nil
+}
+
+// List returns all experiments sorted by ID (figs first, then tabs,
+// then ablations).
+func List() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+func idLess(a, b string) bool {
+	rank := func(s string) int {
+		switch {
+		case len(s) >= 3 && s[:3] == "fig":
+			return 0
+		case len(s) >= 3 && s[:3] == "tab":
+			return 1
+		default:
+			return 2
+		}
+	}
+	ra, rb := rank(a), rank(b)
+	if ra != rb {
+		return ra < rb
+	}
+	return a < b
+}

@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"math"
+
+	"repro/internal/channel"
+	"repro/internal/energy"
+	"repro/internal/feedback"
+	"repro/internal/reader"
+	"repro/internal/sigproc"
+	"repro/internal/simrand"
+	"repro/internal/trace"
+)
+
+// feedbackChannelBER measures the feedback-channel BER at the reader for
+// a monostatic link: idle carrier transmitted, tag Manchester-toggling
+// its reflection, reader normalising by its own envelope. Returns the
+// empirical BER over nBits plus the analytic prediction.
+func feedbackChannelBER(distM, rho, txPowerW, noiseW float64, samplesPerBit, nBits int, seed uint64) (empirical, analytic float64) {
+	pl := channel.NewLogDistance(915e6, 2.5)
+	g := pl.Gain(distM)
+	fwdAmp := math.Sqrt(g)
+	bwdAmp := math.Sqrt(g)
+	leakAmp := math.Sqrt(0.01) // -20 dB isolation
+	txAmp := math.Sqrt(txPowerW)
+
+	rd, err := reader.New(reader.Config{})
+	if err != nil {
+		panic(err)
+	}
+	src := simrand.New(seed)
+	cfg := feedback.Config{SamplesPerBit: samplesPerBit, Code: feedback.CodeManchester}
+
+	tx := sigproc.NewIQ(samplesPerBit).Fill(complex(txAmp, 0))
+	rx := sigproc.NewIQ(samplesPerBit)
+	reflAmp := fwdAmp * math.Sqrt(rho) * bwdAmp
+
+	errs := 0
+	for i := 0; i < nBits; i++ {
+		bit := src.Bit()
+		states := cfg.AppendStates(nil, []byte{bit})
+		for j := range rx {
+			v := complex(leakAmp, 0) * tx[j]
+			if states[j] == feedback.StateReflect {
+				v += complex(reflAmp, 0) * tx[j]
+			}
+			rx[j] = v
+		}
+		src.FillNoise(rx, noiseW)
+		got, _ := rd.DecodeFeedbackBit(rx, tx)
+		if got != bit {
+			errs++
+		}
+	}
+	// Analytic: normalised separation delta = reflAmp / ... the
+	// normalised level is |rx|/|tx|; absorb level = leakAmp, reflect =
+	// leakAmp + reflAmp; per-sample noise sigma on the normalised stream
+	// is sqrt(noiseW/2-ish)/ (txAmp) for the dominant real component.
+	delta := reflAmp
+	sigma := math.Sqrt(noiseW/2) / txAmp
+	analytic = feedback.ManchesterBER(delta, sigma, samplesPerBit)
+	return float64(errs) / float64(nBits), analytic
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Feedback-channel BER vs distance for three feedback rates",
+		Run: func(cfg RunConfig) *Result {
+			tbl := trace.NewTable("fig1: feedback BER vs distance",
+				"dist_m", "rate_kbps", "ber", "ber_analytic")
+			nBits := cfg.trials(20000)
+			const fs = 1e6
+			for _, spb := range []int{10, 100, 1000} { // 100k / 10k / 1 kbps
+				for _, d := range []float64{0.5, 1, 2, 3, 4, 6, 8} {
+					ber, ana := feedbackChannelBER(d, 0.3, 0.1, 1e-9, spb, nBits, cfg.Seed+uint64(spb))
+					tbl.AddRow(d, fs/float64(spb)/1000, ber, ana)
+				}
+			}
+			return &Result{ID: "fig1", Title: tbl.Title, Table: tbl,
+				Shape: "BER rises with distance and falls with averaging: the 1 kbps feedback decodes metres farther than 100 kbps at equal BER."}
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Feedback BER vs reflection coefficient rho",
+		Run: func(cfg RunConfig) *Result {
+			tbl := trace.NewTable("fig2: feedback BER vs rho",
+				"rho", "ber", "ber_analytic")
+			nBits := cfg.trials(20000)
+			for _, rho := range []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9} {
+				ber, ana := feedbackChannelBER(3, rho, 0.1, 1e-9, 100, nBits, cfg.Seed+7)
+				tbl.AddRow(rho, ber, ana)
+			}
+			return &Result{ID: "fig2", Title: tbl.Title, Table: tbl,
+				Shape: "BER falls monotonically as rho grows: a stronger reflection buys feedback SNR (paid for in harvested energy, tab2)."}
+		},
+	})
+
+	register(Experiment{
+		ID:    "tab2",
+		Title: "Tag energy budget vs rho: harvested power against feedback strength",
+		Run: func(cfg RunConfig) *Result {
+			tbl := trace.NewTable("tab2: energy budget vs rho",
+				"rho", "incident_uW", "harvested_uW", "feedback_ber", "outage_1uW_load")
+			nBits := cfg.trials(5000)
+			pl := channel.NewLogDistance(915e6, 2.5)
+			const txW, d = 0.1, 3.0
+			incident := txW * pl.Gain(d)
+			h := energy.Harvester{Efficiency: 0.3, SensitivityW: 1e-7}
+			for _, rho := range []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9} {
+				// Feedback duty is ~50% (Manchester): average harvestable
+				// power = incident*(1 - rho/2).
+				_, harvestable := energy.SplitIncident(incident, rho/2)
+				out := h.OutputPower(harvestable)
+				ber, _ := feedbackChannelBER(d, rho, txW, 1e-9, 100, nBits, cfg.Seed+11)
+				outage := "no"
+				if out < 1e-6 {
+					outage = "yes"
+				}
+				tbl.AddRow(rho, incident*1e6, out*1e6, ber, outage)
+			}
+			return &Result{ID: "tab2", Title: tbl.Title, Table: tbl,
+				Shape: "Harvested power falls linearly in rho while feedback BER improves: the operating point is a tag-side choice (the paper picks moderate rho)."}
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-sinorm",
+		Title: "Ablation: self-interference normalize vs subtract under calibration error",
+		Run: func(cfg RunConfig) *Result {
+			tbl := trace.NewTable("ablation: SI handling",
+				"mode", "leak_error_pct", "ber")
+			nBits := cfg.trials(10000)
+			for _, mode := range []reader.SIMode{reader.SINormalize, reader.SISubtract} {
+				for _, errPct := range []float64{0, 5, 20} {
+					ber := siModeBER(mode, errPct/100, nBits, cfg.Seed+13)
+					tbl.AddRow(mode.String(), errPct, ber)
+				}
+			}
+			return &Result{ID: "abl-sinorm", Title: tbl.Title, Table: tbl,
+				Shape: "Normalize needs no calibration and is flat; subtract pays a noncoherent-combining penalty even when perfectly calibrated and collapses once the leak estimate drifts a few percent."}
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-fbcode",
+		Title: "Ablation: feedback line code Manchester vs NRZ",
+		Run: func(cfg RunConfig) *Result {
+			tbl := trace.NewTable("ablation: feedback code",
+				"code", "noise_scale", "ber")
+			nBits := cfg.trials(10000)
+			for _, code := range []feedback.Code{feedback.CodeManchester, feedback.CodeNRZ} {
+				for _, ns := range []float64{0.5, 1, 2} {
+					ber := fbCodeBER(code, ns*2e-6, nBits, cfg.Seed+17)
+					tbl.AddRow(code.String(), ns, ber)
+				}
+			}
+			return &Result{ID: "abl-fbcode", Title: tbl.Title, Table: tbl,
+				Shape: "Manchester is threshold-free and tracks noise gracefully; NRZ cannot set a threshold from a single-bit slot (no level reference) and fails outright — which is exactly why the design Manchester-codes the feedback."}
+		},
+	})
+}
+
+// siModeBER measures feedback BER with a given SI strategy and a
+// multiplicative leak-calibration error.
+func siModeBER(mode reader.SIMode, leakErr float64, nBits int, seed uint64) float64 {
+	rd, err := reader.New(reader.Config{SI: mode})
+	if err != nil {
+		panic(err)
+	}
+	src := simrand.New(seed)
+	const spb = 100
+	cfg := feedback.Config{SamplesPerBit: spb, Code: feedback.CodeManchester}
+	txAmp := math.Sqrt(0.1)
+	leakAmp := math.Sqrt(0.01)
+	const reflAmp = 0.002
+	tx := sigproc.NewIQ(spb).Fill(complex(txAmp, 0))
+	// Calibrate with a deliberately wrong leak estimate.
+	rxCal := sigproc.NewIQ(spb)
+	for i := range rxCal {
+		rxCal[i] = complex(leakAmp*(1+leakErr), 0) * tx[i]
+	}
+	rd.Calibrate(rxCal, tx)
+	rx := sigproc.NewIQ(spb)
+	errs := 0
+	for i := 0; i < nBits; i++ {
+		bit := src.Bit()
+		states := cfg.AppendStates(nil, []byte{bit})
+		for j := range rx {
+			v := complex(leakAmp, 0) * tx[j]
+			if states[j] == feedback.StateReflect {
+				v += complex(reflAmp, 0) * tx[j]
+			}
+			rx[j] = v
+		}
+		src.FillNoise(rx, 2e-6)
+		got, _ := rd.DecodeFeedbackBit(rx, tx)
+		if got != bit {
+			errs++
+		}
+	}
+	return float64(errs) / float64(nBits)
+}
+
+// fbCodeBER measures feedback BER for a code at a noise level.
+func fbCodeBER(code feedback.Code, noiseW float64, nBits int, seed uint64) float64 {
+	rd, err := reader.New(reader.Config{FeedbackCode: code})
+	if err != nil {
+		panic(err)
+	}
+	src := simrand.New(seed)
+	const spb = 100
+	cfg := feedback.Config{SamplesPerBit: spb, Code: code}
+	txAmp := math.Sqrt(0.1)
+	leakAmp := math.Sqrt(0.01)
+	const reflAmp = 0.002
+	tx := sigproc.NewIQ(spb).Fill(complex(txAmp, 0))
+	rx := sigproc.NewIQ(spb)
+	errs := 0
+	for i := 0; i < nBits; i++ {
+		bit := src.Bit()
+		states := cfg.AppendStates(nil, []byte{bit})
+		for j := range rx {
+			v := complex(leakAmp, 0) * tx[j]
+			if states[j] == feedback.StateReflect {
+				v += complex(reflAmp, 0) * tx[j]
+			}
+			rx[j] = v
+		}
+		src.FillNoise(rx, noiseW)
+		got, _ := rd.DecodeFeedbackBit(rx, tx)
+		if got != bit {
+			errs++
+		}
+	}
+	return float64(errs) / float64(nBits)
+}

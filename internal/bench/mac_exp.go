@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"repro/internal/mac"
+	"repro/internal/simrand"
+	"repro/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Goodput efficiency vs chunk loss: full-duplex feedback vs half-duplex ACK baselines",
+		Run: func(cfg RunConfig) *Result {
+			tbl := trace.NewTable("fig4: efficiency vs loss rate",
+				"loss", "stop_and_wait", "block_ack", "full_duplex", "fd_gain_vs_sw")
+			frames := cfg.trials(2000)
+			params := mac.Params{PayloadBytes: 1500, ChunkBytes: 64}
+			for _, p := range []float64{0, 0.01, 0.05, 0.1, 0.2, 0.3, 0.4} {
+				sw := (&mac.StopAndWait{P: params}).Run(frames, mac.NewIIDLoss(p, simrand.New(cfg.Seed+1)))
+				ba := (&mac.BlockACK{P: params}).Run(frames, mac.NewIIDLoss(p, simrand.New(cfg.Seed+2)))
+				fd := (&mac.FullDuplex{P: params, Seed: cfg.Seed + 3}).Run(frames, mac.NewIIDLoss(p, simrand.New(cfg.Seed+3)))
+				gain := 0.0
+				if sw.Efficiency() > 0 {
+					gain = fd.Efficiency() / sw.Efficiency()
+				}
+				tbl.AddRow(p, sw.Efficiency(), ba.Efficiency(), fd.Efficiency(), gain)
+			}
+			return &Result{ID: "fig4", Title: tbl.Title, Table: tbl,
+				Shape: "All protocols tie near zero loss (FD slightly ahead: no ACK airtime); stop-and-wait collapses beyond ~10% chunk loss while full duplex degrades gracefully — the gain grows without bound with loss."}
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Wasted airtime vs interferer duty cycle: collision detection via early termination",
+		Run: func(cfg RunConfig) *Result {
+			tbl := trace.NewTable("fig5: wasted airtime vs collisions",
+				"burst_duty", "sw_wasted", "fd_noabort_wasted", "fd_abort_wasted")
+			frames := cfg.trials(2000)
+			params := mac.Params{PayloadBytes: 1500, ChunkBytes: 64, AbortThreshold: 2, BackoffChunks: 24}
+			noAbort := params
+			noAbort.AbortThreshold = 1 << 30
+			for _, start := range []float64{0.002, 0.005, 0.01, 0.02, 0.05} {
+				mk := func(seed uint64) mac.Loss {
+					return mac.NewBurstLoss(simrand.New(seed), start, 20, 1, 0.005)
+				}
+				duty := mac.NewBurstLoss(simrand.New(1), start, 20, 1, 0.005).DutyCycle()
+				sw := (&mac.StopAndWait{P: params}).Run(frames, mk(cfg.Seed+4))
+				fdN := (&mac.FullDuplex{P: noAbort, Seed: cfg.Seed + 5}).Run(frames, mk(cfg.Seed+5))
+				fdA := (&mac.FullDuplex{P: params, Seed: cfg.Seed + 6}).Run(frames, mk(cfg.Seed+6))
+				tbl.AddRow(duty, sw.WastedFraction(), fdN.WastedFraction(), fdA.WastedFraction())
+			}
+			return &Result{ID: "fig5", Title: tbl.Title, Table: tbl,
+				Shape: "Waste rises with collision duty for everyone, but early termination bounds it: the FD-abort curve stays well below both the blind FD and the half-duplex baseline, because a doomed frame stops within ~2 chunks."}
+		},
+	})
+
+	register(Experiment{
+		ID:    "tab1",
+		Title: "Feedback latency: full duplex vs half-duplex ACK turnaround",
+		Run: func(cfg RunConfig) *Result {
+			tbl := trace.NewTable("tab1: feedback delay (chunk-times)",
+				"chunk_bytes", "frame_chunks", "fd_delay", "sw_delay", "speedup")
+			frames := cfg.trials(500)
+			for _, cb := range []int{32, 64, 128, 256} {
+				params := mac.Params{PayloadBytes: 1500, ChunkBytes: cb}
+				fd := (&mac.FullDuplex{P: params, Seed: cfg.Seed + 7}).Run(frames, mac.NewIIDLoss(0.05, simrand.New(cfg.Seed+7)))
+				sw := (&mac.StopAndWait{P: params}).Run(frames, mac.NewIIDLoss(0.05, simrand.New(cfg.Seed+8)))
+				sp := 0.0
+				if fd.MeanFeedbackDelayChunks() > 0 {
+					sp = sw.MeanFeedbackDelayChunks() / fd.MeanFeedbackDelayChunks()
+				}
+				tbl.AddRow(cb, params.NumChunks(), fd.MeanFeedbackDelayChunks(),
+					sw.MeanFeedbackDelayChunks(), sp)
+			}
+			return &Result{ID: "tab1", Title: tbl.Title, Table: tbl,
+				Shape: "Full duplex learns each chunk's fate one chunk-time later regardless of frame size; half duplex waits the whole frame plus the ACK — the speedup equals the chunks-per-frame count."}
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-chunk",
+		Title: "Ablation: chunk size trade-off (per-chunk overhead vs retransmit granularity)",
+		Run: func(cfg RunConfig) *Result {
+			tbl := trace.NewTable("ablation: chunk size",
+				"chunk_bytes", "eff_clean_channel", "eff_noisy_channel")
+			frames := cfg.trials(2000)
+			// Loss scales with chunk length: a chunk of n bytes survives
+			// only if all n bytes do, so p_chunk = 1-(1-p_byte)^n.
+			chunkLoss := func(pByte float64, n int) float64 {
+				return 1 - pow(1-pByte, n)
+			}
+			for _, cb := range []int{8, 16, 32, 64, 128, 256, 512} {
+				params := mac.Params{PayloadBytes: 1500, ChunkBytes: cb}
+				lo := (&mac.FullDuplex{P: params, Seed: cfg.Seed + 9}).Run(frames,
+					mac.NewIIDLoss(chunkLoss(2e-4, cb+1), simrand.New(cfg.Seed+9)))
+				hi := (&mac.FullDuplex{P: params, Seed: cfg.Seed + 10}).Run(frames,
+					mac.NewIIDLoss(chunkLoss(3e-3, cb+1), simrand.New(cfg.Seed+10)))
+				tbl.AddRow(cb, lo.Efficiency(), hi.Efficiency())
+			}
+			return &Result{ID: "abl-chunk", Title: tbl.Title, Table: tbl,
+				Shape: "At low loss big chunks win (less CRC overhead); at high loss small chunks win (finer retransmit granularity) — the crossover motivates the default 32-64 B."}
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-threshold",
+		Title: "Ablation: early-termination threshold (consecutive NACKs before abort)",
+		Run: func(cfg RunConfig) *Result {
+			tbl := trace.NewTable("ablation: abort threshold",
+				"abort_after_nacks", "wasted_fraction", "throughput")
+			frames := cfg.trials(2000)
+			for _, th := range []int{1, 2, 4, 8, 1 << 20} {
+				params := mac.Params{PayloadBytes: 1500, ChunkBytes: 64,
+					AbortThreshold: th, BackoffChunks: 24}
+				loss := mac.NewBurstLoss(simrand.New(cfg.Seed+11), 0.01, 20, 1, 0.01)
+				r := (&mac.FullDuplex{P: params, Seed: cfg.Seed + 11}).Run(frames, loss)
+				label := th
+				tbl.AddRow(label, r.WastedFraction(), r.Throughput())
+			}
+			return &Result{ID: "abl-threshold", Title: tbl.Title, Table: tbl,
+				Shape: "Aborting after 1 NACK over-reacts to isolated losses; never aborting burns airtime through bursts; 2-4 consecutive NACKs is the sweet spot."}
+		},
+	})
+}
+
+// pow is integer exponentiation of a float base.
+func pow(base float64, n int) float64 {
+	out := 1.0
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			out *= base
+		}
+		base *= base
+	}
+	return out
+}

@@ -1,0 +1,403 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sigproc"
+	"repro/internal/simrand"
+)
+
+func TestFreeSpaceGain(t *testing.T) {
+	fs := FreeSpace{FreqHz: 915e6}
+	// lambda ~ 0.3276 m; gain at 1 m = (lambda/4pi)^2 ~ 6.8e-4.
+	g1 := fs.Gain(1)
+	lambda := SpeedOfLight / 915e6
+	want := math.Pow(lambda/(4*math.Pi), 2)
+	if math.Abs(g1-want) > 1e-9 {
+		t.Fatalf("gain(1m) = %g, want %g", g1, want)
+	}
+	// Inverse square: doubling distance quarters the gain.
+	if r := fs.Gain(2) / g1; math.Abs(r-0.25) > 1e-9 {
+		t.Fatalf("ratio = %g, want 0.25", r)
+	}
+}
+
+func TestFreeSpaceClampsNearField(t *testing.T) {
+	fs := FreeSpace{FreqHz: 915e6}
+	if fs.Gain(0) != fs.Gain(0.1) {
+		t.Fatal("near-field distances must clamp")
+	}
+	if fs.Gain(0.001) > 1e3 {
+		t.Fatal("clamped gain exploded")
+	}
+}
+
+func TestLogDistanceExponent(t *testing.T) {
+	ld := NewLogDistance(915e6, 3)
+	// 10x distance should cost 30 dB with n=3.
+	r := ld.Gain(10) / ld.Gain(1)
+	if math.Abs(sigproc.DB(r)+30) > 1e-9 {
+		t.Fatalf("10x distance = %g dB, want -30", sigproc.DB(r))
+	}
+}
+
+func TestLogDistanceDefaults(t *testing.T) {
+	ld := LogDistance{RefGain: 1}
+	// Defaults: d0=1, n=2, min 0.1.
+	if r := ld.Gain(2) / ld.Gain(1); math.Abs(r-0.25) > 1e-9 {
+		t.Fatalf("default exponent not 2: ratio %g", r)
+	}
+	if ld.Gain(0.01) != ld.Gain(0.1) {
+		t.Fatal("min distance clamp missing")
+	}
+}
+
+func TestFixedGain(t *testing.T) {
+	g := FixedGain(0.5)
+	if g.Gain(1) != 0.5 || g.Gain(100) != 0.5 {
+		t.Fatal("FixedGain must ignore distance")
+	}
+}
+
+func TestPathLossMonotoneProperty(t *testing.T) {
+	models := []PathLoss{
+		FreeSpace{FreqHz: 915e6},
+		NewLogDistance(915e6, 2.5),
+	}
+	f := func(aRaw, bRaw uint16) bool {
+		a := 0.2 + float64(aRaw%1000)/100 // 0.2..10.2 m
+		b := 0.2 + float64(bRaw%1000)/100
+		if a > b {
+			a, b = b, a
+		}
+		for _, m := range models {
+			if m.Gain(a) < m.Gain(b)-1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	// 300 m at 1 MHz is about one sample.
+	d := PropagationDelaySamples(299.792458, 1e6)
+	if math.Abs(d-1) > 1e-9 {
+		t.Fatalf("delay = %g samples, want 1", d)
+	}
+}
+
+func TestStaticFader(t *testing.T) {
+	f := NewStaticFader(2i)
+	if f.NextCoeff() != 2i || f.NextCoeff() != 2i {
+		t.Fatal("static fader must not change")
+	}
+}
+
+func TestRayleighFaderUnitPower(t *testing.T) {
+	f := NewRayleighFader(simrand.New(1))
+	var p float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h := f.NextCoeff()
+		p += real(h)*real(h) + imag(h)*imag(h)
+	}
+	if got := p / n; math.Abs(got-1) > 0.05 {
+		t.Fatalf("mean power = %g, want 1", got)
+	}
+}
+
+func TestRicianFaderUnitPower(t *testing.T) {
+	f := NewRicianFader(simrand.New(2), 5)
+	var p float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h := f.NextCoeff()
+		p += real(h)*real(h) + imag(h)*imag(h)
+	}
+	if got := p / n; math.Abs(got-1) > 0.05 {
+		t.Fatalf("mean power = %g, want 1", got)
+	}
+}
+
+func TestGaussMarkovCorrelation(t *testing.T) {
+	const rho = 0.95
+	f := NewGaussMarkovFader(simrand.New(3), rho)
+	const n = 200000
+	var prev complex128
+	var crossRe, power float64
+	for i := 0; i < n; i++ {
+		h := f.NextCoeff()
+		if i > 0 {
+			crossRe += real(h * cmplx.Conj(prev))
+		}
+		power += real(h * cmplx.Conj(h))
+		prev = h
+	}
+	corr := crossRe / power
+	if math.Abs(corr-rho) > 0.02 {
+		t.Fatalf("lag-1 correlation = %g, want %g", corr, rho)
+	}
+	if got := power / n; math.Abs(got-1) > 0.05 {
+		t.Fatalf("stationary power = %g, want 1", got)
+	}
+}
+
+func TestGaussMarkovPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGaussMarkovFader(simrand.New(1), 1.0)
+}
+
+func TestCoherenceRho(t *testing.T) {
+	if CoherenceRho(1, 0) != 0 {
+		t.Fatal("zero coherence time should give rho 0")
+	}
+	r := CoherenceRho(0.001, 0.1)
+	if r < 0.98 || r >= 1 {
+		t.Fatalf("slow channel rho = %g", r)
+	}
+	if CoherenceRho(10, 0.001) > 0.01 {
+		t.Fatal("fast channel should have near-zero rho")
+	}
+}
+
+func TestPathGainApplied(t *testing.T) {
+	p := &Path{Gain: 0.25}
+	tx := sigproc.NewIQ(64).Fill(1)
+	rx := p.Apply(tx, nil)
+	// Power gain 0.25 -> amplitude 0.5.
+	if math.Abs(rx.Power()-0.25) > 1e-12 {
+		t.Fatalf("rx power = %g, want 0.25", rx.Power())
+	}
+}
+
+func TestPathAddToSuperimposes(t *testing.T) {
+	p1 := &Path{Gain: 1}
+	p2 := &Path{Gain: 1}
+	tx := sigproc.NewIQ(8).Fill(1)
+	dst := sigproc.NewIQ(8)
+	p1.AddTo(tx, dst)
+	p2.AddTo(tx, dst)
+	if dst[0] != 2 {
+		t.Fatalf("superposition = %v, want 2", dst[0])
+	}
+}
+
+func TestPathAddToPanicsOnShortDst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Path{Gain: 1}).AddTo(sigproc.NewIQ(8), sigproc.NewIQ(4))
+}
+
+func TestPathDelay(t *testing.T) {
+	p := &Path{Gain: 1, DelaySamples: 2}
+	tx := sigproc.IQ{1, 0, 0, 0}
+	rx := p.Apply(tx, nil)
+	if cmplx.Abs(rx[0]) > 1e-12 || cmplx.Abs(rx[2]-1) > 1e-12 {
+		t.Fatalf("delayed impulse wrong: %v", rx)
+	}
+}
+
+func TestPathCFORotates(t *testing.T) {
+	const fs = 1e6
+	p := &Path{Gain: 1, CFOHz: 1000, SampleRate: fs}
+	tx := sigproc.NewIQ(1000).Fill(1)
+	rx := p.Apply(tx, nil)
+	// After 1000 samples at 1 kHz offset and 1 MHz fs, phase advanced
+	// 2*pi*1000*(1000/1e6) = 2*pi rad -> back near start; halfway should
+	// be rotated by pi.
+	if cmplx.Abs(rx[500]-cmplx.Exp(complex(0, math.Pi))) > 1e-6 {
+		t.Fatalf("mid-block rotation wrong: %v", rx[500])
+	}
+}
+
+func TestPathCFOPhaseContinuity(t *testing.T) {
+	const fs = 1e6
+	p := &Path{Gain: 1, CFOHz: 12345, SampleRate: fs}
+	tx := sigproc.NewIQ(100).Fill(1)
+	a := p.Apply(tx, nil).Clone()
+	b := p.Apply(tx, nil)
+	// First sample of second block should continue the rotation, not
+	// reset to phase 0.
+	step := 2 * math.Pi * 12345 / fs
+	wantPhase := step * 100
+	got := cmplx.Phase(b[0])
+	want := math.Mod(wantPhase+math.Pi, 2*math.Pi) - math.Pi
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("phase discontinuity: got %g, want %g (first block last %v)", got, want, a[99])
+	}
+}
+
+func TestPathCFOWithoutRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Path{Gain: 1, CFOHz: 100}).Apply(sigproc.NewIQ(4), nil)
+}
+
+func TestPathFaderScales(t *testing.T) {
+	p := &Path{Gain: 1, Fader: NewStaticFader(complex(0, 1))}
+	tx := sigproc.IQ{1}
+	rx := p.Apply(tx, nil)
+	if cmplx.Abs(rx[0]-1i) > 1e-12 {
+		t.Fatalf("fader coefficient not applied: %v", rx[0])
+	}
+}
+
+func TestMultipathTwoRay(t *testing.T) {
+	mp := NewTwoRay(1, 3, 0.25)
+	tx := sigproc.IQ{1, 0, 0, 0, 0}
+	rx := mp.Apply(tx, nil)
+	if cmplx.Abs(rx[0]-1) > 1e-12 {
+		t.Fatalf("direct tap wrong: %v", rx)
+	}
+	if cmplx.Abs(rx[3]-0.5) > 1e-12 { // amplitude sqrt(0.25)
+		t.Fatalf("echo tap wrong: %v", rx)
+	}
+}
+
+func TestMediumDistanceAndGain(t *testing.T) {
+	m := NewMedium(MediumConfig{PathLoss: FixedGain(0.5)})
+	m.AddNode("a", 0, 0)
+	m.AddNode("b", 3, 4)
+	if d := m.Distance("a", "b"); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("distance = %g, want 5", d)
+	}
+	if g := m.Gain("a", "b"); g != 0.5 {
+		t.Fatalf("gain = %g", g)
+	}
+}
+
+func TestMediumUnknownNodePanics(t *testing.T) {
+	m := NewMedium(MediumConfig{})
+	m.AddNode("a", 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Distance("a", "ghost")
+}
+
+func TestMediumPathCachedAndDirected(t *testing.T) {
+	m := NewMedium(MediumConfig{PathLoss: FixedGain(1)})
+	m.AddNode("a", 0, 0)
+	m.AddNode("b", 1, 0)
+	p1 := m.Path("a", "b")
+	p2 := m.Path("a", "b")
+	if p1 != p2 {
+		t.Fatal("path must be cached")
+	}
+	if m.Path("b", "a") == p1 {
+		t.Fatal("reverse path must be distinct")
+	}
+}
+
+func TestMediumMoveInvalidatesPaths(t *testing.T) {
+	m := NewMedium(MediumConfig{PathLoss: NewLogDistance(915e6, 2)})
+	m.AddNode("a", 0, 0)
+	m.AddNode("b", 1, 0)
+	g1 := m.Path("a", "b").Gain
+	m.AddNode("b", 10, 0) // move
+	g2 := m.Path("a", "b").Gain
+	if g2 >= g1 {
+		t.Fatalf("moving farther should reduce gain: %g -> %g", g1, g2)
+	}
+}
+
+func TestMediumDefaultPathLoss(t *testing.T) {
+	m := NewMedium(MediumConfig{})
+	m.AddNode("a", 0, 0)
+	m.AddNode("b", 2, 0)
+	if g := m.Gain("a", "b"); g <= 0 || g >= 1 {
+		t.Fatalf("default path loss gain out of range: %g", g)
+	}
+}
+
+func TestMediumNodesSorted(t *testing.T) {
+	m := NewMedium(MediumConfig{})
+	m.AddNode("zeta", 0, 0)
+	m.AddNode("alpha", 1, 1)
+	names := m.Nodes()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("Nodes() = %v", names)
+	}
+}
+
+func TestMediumNoise(t *testing.T) {
+	m := NewMedium(MediumConfig{NoisePower: 0.1, Seed: 5})
+	x := make([]complex128, 50000)
+	m.AddNoise(x)
+	var p float64
+	for _, v := range x {
+		p += real(v)*real(v) + imag(v)*imag(v)
+	}
+	p /= float64(len(x))
+	if math.Abs(p-0.1) > 0.01 {
+		t.Fatalf("noise power = %g, want 0.1", p)
+	}
+	if m.NoisePower() != 0.1 {
+		t.Fatal("NoisePower accessor mismatch")
+	}
+}
+
+func TestMediumFadingKinds(t *testing.T) {
+	for _, k := range []FadingKind{FadingRayleigh, FadingRician, FadingGaussMarkov} {
+		m := NewMedium(MediumConfig{
+			PathLoss: FixedGain(1), Fading: k, RicianK: 3,
+			GaussMarkovRho: 0.9, Seed: 7,
+		})
+		m.AddNode("a", 0, 0)
+		m.AddNode("b", 1, 0)
+		p := m.Path("a", "b")
+		m.BlockStart()
+		c1 := p.Coeff()
+		m.BlockStart()
+		c2 := p.Coeff()
+		if c1 == c2 {
+			t.Fatalf("%v fading should vary between blocks", k)
+		}
+	}
+}
+
+func TestMediumDeterministicAcrossRuns(t *testing.T) {
+	run := func() complex128 {
+		m := NewMedium(MediumConfig{PathLoss: FixedGain(1), Fading: FadingRayleigh, Seed: 99})
+		m.AddNode("a", 0, 0)
+		m.AddNode("b", 1, 0)
+		p := m.Path("a", "b")
+		m.BlockStart()
+		return p.Coeff()
+	}
+	if run() != run() {
+		t.Fatal("same seed must reproduce the same fading")
+	}
+}
+
+func TestFadingKindString(t *testing.T) {
+	if FadingRayleigh.String() != "rayleigh" || FadingKind(99).String() == "" {
+		t.Fatal("FadingKind.String broken")
+	}
+}
+
+func TestPhaseRotate(t *testing.T) {
+	h := PhaseRotate(1, math.Pi)
+	if cmplx.Abs(h+1) > 1e-12 {
+		t.Fatalf("rotated = %v, want -1", h)
+	}
+}

@@ -1,0 +1,109 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+
+	"repro/internal/simrand"
+)
+
+// Fader produces a complex small-scale channel coefficient per coherence
+// block. Amplitude-domain: received amplitude is multiplied by the
+// coefficient; E[|h|^2] should be 1 so the path-loss gain sets the mean
+// power.
+type Fader interface {
+	// NextCoeff returns the channel coefficient for the next block.
+	NextCoeff() complex128
+}
+
+// StaticFader always returns the same coefficient. The zero value is an
+// all-blocking channel; use NewStaticFader(1) for an ideal channel.
+type StaticFader struct {
+	Coeff complex128
+}
+
+// NewStaticFader returns a fader pinned to the given coefficient.
+func NewStaticFader(coeff complex128) *StaticFader { return &StaticFader{Coeff: coeff} }
+
+// NextCoeff implements Fader.
+func (s *StaticFader) NextCoeff() complex128 { return s.Coeff }
+
+// RayleighFader draws an independent CN(0,1) coefficient per block
+// (block-fading Rayleigh with unit mean power).
+type RayleighFader struct {
+	src *simrand.Source
+}
+
+// NewRayleighFader returns a block Rayleigh fader driven by a child of src.
+func NewRayleighFader(src *simrand.Source) *RayleighFader {
+	return &RayleighFader{src: src.Split()}
+}
+
+// NextCoeff implements Fader.
+func (r *RayleighFader) NextCoeff() complex128 { return r.src.RayleighCoeff(1) }
+
+// RicianFader draws an independent Rician coefficient per block with
+// factor K and unit mean power.
+type RicianFader struct {
+	K   float64
+	src *simrand.Source
+}
+
+// NewRicianFader returns a block Rician fader with factor K.
+func NewRicianFader(src *simrand.Source, k float64) *RicianFader {
+	return &RicianFader{K: k, src: src.Split()}
+}
+
+// NextCoeff implements Fader.
+func (r *RicianFader) NextCoeff() complex128 { return r.src.RicianCoeff(1, r.K) }
+
+// GaussMarkovFader is a first-order autoregressive fading process:
+// h[k+1] = rho*h[k] + sqrt(1-rho^2)*CN(0,1). It produces the temporally
+// correlated fades that rate adaptation must track; rho close to 1 means
+// a slowly varying channel.
+type GaussMarkovFader struct {
+	rho float64
+	h   complex128
+	src *simrand.Source
+}
+
+// NewGaussMarkovFader returns a correlated fader with correlation rho in
+// [0, 1). It panics if rho is out of range. The process starts from a
+// stationary draw so the first block is already correctly distributed.
+func NewGaussMarkovFader(src *simrand.Source, rho float64) *GaussMarkovFader {
+	if rho < 0 || rho >= 1 {
+		panic("channel: GaussMarkov correlation must be in [0, 1)")
+	}
+	child := src.Split()
+	return &GaussMarkovFader{rho: rho, h: child.RayleighCoeff(1), src: child}
+}
+
+// NextCoeff implements Fader.
+func (g *GaussMarkovFader) NextCoeff() complex128 {
+	out := g.h
+	innov := g.src.RayleighCoeff(1 - g.rho*g.rho)
+	g.h = complex(g.rho, 0)*g.h + innov
+	return out
+}
+
+// CoherenceRho converts a channel coherence time and a block duration
+// into the AR(1) correlation coefficient via Clarke's model
+// rho = J0(2*pi*fd*T) approximated by exp(-(T/Tc)^2 * ln2) shape; we use
+// the simpler exponential mapping rho = exp(-blockT/coherenceT), clamped
+// to [0, 1).
+func CoherenceRho(blockT, coherenceT float64) float64 {
+	if coherenceT <= 0 {
+		return 0
+	}
+	rho := math.Exp(-blockT / coherenceT)
+	if rho >= 1 {
+		rho = math.Nextafter(1, 0)
+	}
+	return rho
+}
+
+// PhaseRotate applies a constant phase rotation in radians to a
+// coefficient; useful to decorrelate I/Q in tests.
+func PhaseRotate(h complex128, rad float64) complex128 {
+	return h * cmplx.Exp(complex(0, rad))
+}

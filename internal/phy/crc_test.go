@@ -1,0 +1,94 @@
+package phy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC8KnownVector(t *testing.T) {
+	// CRC-8/ATM ("123456789") = 0xF4.
+	if got := CRC8([]byte("123456789")); got != 0xF4 {
+		t.Fatalf("CRC8 check vector = %#x, want 0xF4", got)
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/CCITT-FALSE ("123456789") = 0x29B1.
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("CRC16 check vector = %#x, want 0x29B1", got)
+	}
+}
+
+func TestCRCEmpty(t *testing.T) {
+	if CRC8(nil) != 0 {
+		t.Fatal("CRC8 of empty should be 0")
+	}
+	if CRC16(nil) != 0xFFFF {
+		t.Fatal("CRC16 of empty should be init value 0xFFFF")
+	}
+}
+
+func TestUpdateCRCIncremental(t *testing.T) {
+	data := []byte("full duplex backscatter")
+	split := 7
+	c8 := UpdateCRC8(CRC8(data[:split]), data[split:])
+	if c8 != CRC8(data) {
+		t.Fatal("incremental CRC8 mismatch")
+	}
+	c16 := UpdateCRC16(CRC16(data[:split]), data[split:])
+	if c16 != CRC16(data) {
+		t.Fatal("incremental CRC16 mismatch")
+	}
+}
+
+func TestCRC8DetectsSingleBitFlip(t *testing.T) {
+	f := func(data []byte, pos uint16, bit uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		orig := CRC8(data)
+		i := int(pos) % len(data)
+		mut := make([]byte, len(data))
+		copy(mut, data)
+		mut[i] ^= 1 << (bit % 8)
+		return CRC8(mut) != orig
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC16DetectsSingleBitFlip(t *testing.T) {
+	f := func(data []byte, pos uint16, bit uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		orig := CRC16(data)
+		i := int(pos) % len(data)
+		mut := make([]byte, len(data))
+		copy(mut, data)
+		mut[i] ^= 1 << (bit % 8)
+		return CRC16(mut) != orig
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC16DetectsBurstErrors(t *testing.T) {
+	// CRC-16 catches all burst errors up to 16 bits.
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	orig := CRC16(data)
+	for start := 0; start < 63; start++ {
+		mut := make([]byte, len(data))
+		copy(mut, data)
+		mut[start] ^= 0xFF
+		mut[start+1] ^= 0xFF
+		if CRC16(mut) == orig {
+			t.Fatalf("16-bit burst at %d undetected", start)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package phy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame layout (bytes, before line coding):
+//
+//	header (7)  = version/type, seq, payloadLen (2), rateID, chunkSize, crc8
+//	chunks      = payload split into chunkSize-byte chunks, each followed
+//	              by a CRC-8 seeded with (seq, chunk index)
+//	trailer (2) = CRC-16 over header+chunks
+//
+// The per-chunk CRCs are what make instantaneous feedback possible: the
+// tag validates each chunk the moment its last chip arrives and
+// backscatters ACK/NACK without waiting for the frame to end.
+
+// FrameType distinguishes frame roles on the forward link.
+type FrameType uint8
+
+// Frame types.
+const (
+	FrameData FrameType = iota + 1
+	FrameProbe
+	FrameControl
+)
+
+// String returns the frame type name.
+func (t FrameType) String() string {
+	switch t {
+	case FrameData:
+		return "data"
+	case FrameProbe:
+		return "probe"
+	case FrameControl:
+		return "control"
+	default:
+		return fmt.Sprintf("FrameType(%d)", uint8(t))
+	}
+}
+
+// ProtocolVersion is the current frame format version.
+const ProtocolVersion = 1
+
+// HeaderSize is the encoded header length in bytes, including its CRC-8.
+const HeaderSize = 7
+
+// FrameTrailerSize is the frame CRC-16 length in bytes.
+const FrameTrailerSize = 2
+
+// MaxPayload is the largest payload a single frame can carry.
+const MaxPayload = 0xFFFF
+
+// Header is the forward-link frame header.
+type Header struct {
+	Version    uint8
+	Type       FrameType
+	Seq        uint8
+	PayloadLen uint16
+	Rate       uint8
+	// ChunkSize is the payload bytes per chunk; 0 means the whole
+	// payload is one chunk.
+	ChunkSize uint8
+}
+
+// Errors returned by frame parsing.
+var (
+	ErrShortFrame  = errors.New("phy: frame truncated")
+	ErrHeaderCRC   = errors.New("phy: header CRC mismatch")
+	ErrBadVersion  = errors.New("phy: unsupported frame version")
+	ErrPayloadSize = errors.New("phy: payload exceeds MaxPayload")
+)
+
+// AppendBinary encodes the header (with CRC-8) appending to dst.
+func (h Header) AppendBinary(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, h.Version<<4|uint8(h.Type)&0x0F, h.Seq)
+	dst = binary.BigEndian.AppendUint16(dst, h.PayloadLen)
+	dst = append(dst, h.Rate, h.ChunkSize)
+	dst = append(dst, CRC8(dst[start:]))
+	return dst
+}
+
+// ParseHeader decodes and validates a header from the first HeaderSize
+// bytes of b.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderSize {
+		return Header{}, ErrShortFrame
+	}
+	if CRC8(b[:HeaderSize-1]) != b[HeaderSize-1] {
+		return Header{}, ErrHeaderCRC
+	}
+	h := Header{
+		Version:    b[0] >> 4,
+		Type:       FrameType(b[0] & 0x0F),
+		Seq:        b[1],
+		PayloadLen: binary.BigEndian.Uint16(b[2:4]),
+		Rate:       b[4],
+		ChunkSize:  b[5],
+	}
+	if h.Version != ProtocolVersion {
+		return Header{}, ErrBadVersion
+	}
+	return h, nil
+}
+
+// EffectiveChunkSize resolves ChunkSize == 0 to "whole payload".
+func (h Header) EffectiveChunkSize() int {
+	if h.ChunkSize == 0 {
+		if h.PayloadLen == 0 {
+			return 1
+		}
+		return int(h.PayloadLen)
+	}
+	return int(h.ChunkSize)
+}
+
+// NumChunks returns the number of payload chunks in the frame.
+func (h Header) NumChunks() int {
+	if h.PayloadLen == 0 {
+		return 0
+	}
+	cs := h.EffectiveChunkSize()
+	return (int(h.PayloadLen) + cs - 1) / cs
+}
+
+// WireSize returns the total encoded frame length in bytes.
+func (h Header) WireSize() int {
+	return HeaderSize + int(h.PayloadLen) + h.NumChunks() + FrameTrailerSize
+}
+
+// ChunkCRC computes the per-chunk CRC-8, bound to the frame sequence
+// number and chunk index so a stale retransmission cannot validate.
+func ChunkCRC(seq uint8, idx int, chunk []byte) byte {
+	c := UpdateCRC8(0, []byte{seq, byte(idx)})
+	return UpdateCRC8(c, chunk)
+}
+
+// BuildFrame encodes a complete frame appending to dst and returning it.
+// The header's PayloadLen is forced to len(payload).
+func BuildFrame(h Header, payload []byte, dst []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return dst, ErrPayloadSize
+	}
+	if h.Version == 0 {
+		h.Version = ProtocolVersion
+	}
+	h.PayloadLen = uint16(len(payload))
+	start := len(dst)
+	dst = h.AppendBinary(dst)
+	cs := h.EffectiveChunkSize()
+	for idx, off := 0, 0; off < len(payload); idx, off = idx+1, off+cs {
+		end := off + cs
+		if end > len(payload) {
+			end = len(payload)
+		}
+		chunk := payload[off:end]
+		dst = append(dst, chunk...)
+		dst = append(dst, ChunkCRC(h.Seq, idx, chunk))
+	}
+	crc := CRC16(dst[start:])
+	dst = binary.BigEndian.AppendUint16(dst, crc)
+	return dst, nil
+}
+
+// ParsedFrame is the result of decoding a (possibly corrupted) frame.
+// Chunk integrity is reported per chunk so the caller can count exactly
+// which chunks survived — the information the feedback channel carries.
+type ParsedFrame struct {
+	Header  Header
+	Payload []byte
+	// ChunkOK[i] reports whether chunk i passed its CRC.
+	ChunkOK []bool
+	// FrameOK reports whether the trailing CRC-16 validated.
+	FrameOK bool
+}
+
+// AllChunksOK reports whether every chunk CRC passed.
+func (p *ParsedFrame) AllChunksOK() bool {
+	for _, ok := range p.ChunkOK {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// BadChunks returns the indices of chunks whose CRC failed.
+func (p *ParsedFrame) BadChunks() []int {
+	var out []int
+	for i, ok := range p.ChunkOK {
+		if !ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ParseFrame decodes a frame from b. A header CRC failure aborts with an
+// error (nothing downstream is trustworthy); chunk and frame CRC failures
+// are reported in the result rather than as errors, because a real
+// receiver still learns which chunks were good.
+func ParseFrame(b []byte) (*ParsedFrame, error) {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < h.WireSize() {
+		return nil, ErrShortFrame
+	}
+	p := &ParsedFrame{
+		Header:  h,
+		Payload: make([]byte, 0, h.PayloadLen),
+		ChunkOK: make([]bool, h.NumChunks()),
+	}
+	cs := h.EffectiveChunkSize()
+	off := HeaderSize
+	for idx := 0; idx < h.NumChunks(); idx++ {
+		n := cs
+		remaining := int(h.PayloadLen) - idx*cs
+		if remaining < n {
+			n = remaining
+		}
+		chunk := b[off : off+n]
+		crc := b[off+n]
+		p.ChunkOK[idx] = ChunkCRC(h.Seq, idx, chunk) == crc
+		p.Payload = append(p.Payload, chunk...)
+		off += n + 1
+	}
+	wire := h.WireSize()
+	want := binary.BigEndian.Uint16(b[wire-FrameTrailerSize : wire])
+	p.FrameOK = CRC16(b[:wire-FrameTrailerSize]) == want
+	return p, nil
+}
+
+// ChunkPayloadRange returns the [start, end) byte range of chunk idx
+// within the payload. It panics if idx is out of range.
+func (h Header) ChunkPayloadRange(idx int) (int, int) {
+	if idx < 0 || idx >= h.NumChunks() {
+		panic(fmt.Sprintf("phy: chunk index %d out of range [0,%d)", idx, h.NumChunks()))
+	}
+	cs := h.EffectiveChunkSize()
+	start := idx * cs
+	end := start + cs
+	if end > int(h.PayloadLen) {
+		end = int(h.PayloadLen)
+	}
+	return start, end
+}
+
+// ChunkWireRange returns the [start, end) byte range of chunk idx
+// (including its CRC byte) within the encoded frame. It panics if idx is
+// out of range.
+func (h Header) ChunkWireRange(idx int) (int, int) {
+	s, e := h.ChunkPayloadRange(idx)
+	// Each preceding chunk contributed one CRC byte.
+	start := HeaderSize + s + idx
+	end := HeaderSize + e + idx + 1
+	return start, end
+}

@@ -1,0 +1,178 @@
+package phy
+
+import "fmt"
+
+// LineCode maps data bits to on-air chips and back. Backscatter links use
+// DC-balanced codes (Manchester, FM0) so the tag's threshold tracker
+// sees both levels often; NRZ is included as the baseline/ablation code.
+//
+// Encode appends chip values (0 or 1, one per byte) for the given bits
+// (one per byte) to dst. Decode converts per-chip soft levels (averaged
+// envelope amplitudes) back to bits, appending to dst; threshold is the
+// level separating high from low chips (differential codes ignore it).
+type LineCode interface {
+	// Name identifies the code in logs and experiment tables.
+	Name() string
+	// ChipsPerBit returns the fixed chip expansion factor.
+	ChipsPerBit() int
+	// Encode appends the chips for bits to dst and returns it.
+	Encode(bits []byte, dst []byte) []byte
+	// Decode appends the bits recovered from per-chip levels to dst and
+	// returns it. len(levels) should be a multiple of ChipsPerBit;
+	// trailing partial groups are ignored.
+	Decode(levels []float64, threshold float64, dst []byte) []byte
+}
+
+// NRZ is the trivial one-chip-per-bit code.
+type NRZ struct{}
+
+// Name implements LineCode.
+func (NRZ) Name() string { return "nrz" }
+
+// ChipsPerBit implements LineCode.
+func (NRZ) ChipsPerBit() int { return 1 }
+
+// Encode implements LineCode.
+func (NRZ) Encode(bits []byte, dst []byte) []byte {
+	for _, b := range bits {
+		dst = append(dst, b&1)
+	}
+	return dst
+}
+
+// Decode implements LineCode.
+func (NRZ) Decode(levels []float64, threshold float64, dst []byte) []byte {
+	if threshold <= 0 {
+		threshold = midpointThreshold(levels)
+	}
+	for _, v := range levels {
+		if v > threshold {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// midpointThreshold derives a slicing threshold as the midpoint between
+// the lowest and highest observed levels. Valid whenever both chip levels
+// appear in the window, which DC-balanced codes guarantee.
+func midpointThreshold(levels []float64) float64 {
+	if len(levels) == 0 {
+		return 0
+	}
+	lo, hi := levels[0], levels[0]
+	for _, v := range levels[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Manchester encodes 1 as high-low and 0 as low-high (IEEE convention
+// inverted; the choice only matters for consistency). Decoding compares
+// the two half-chips, so it needs no absolute threshold.
+type Manchester struct{}
+
+// Name implements LineCode.
+func (Manchester) Name() string { return "manchester" }
+
+// ChipsPerBit implements LineCode.
+func (Manchester) ChipsPerBit() int { return 2 }
+
+// Encode implements LineCode.
+func (Manchester) Encode(bits []byte, dst []byte) []byte {
+	for _, b := range bits {
+		if b&1 == 1 {
+			dst = append(dst, 1, 0)
+		} else {
+			dst = append(dst, 0, 1)
+		}
+	}
+	return dst
+}
+
+// Decode implements LineCode.
+func (Manchester) Decode(levels []float64, _ float64, dst []byte) []byte {
+	for i := 0; i+1 < len(levels); i += 2 {
+		if levels[i] > levels[i+1] {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// FM0 is the bi-phase space code used by EPC Gen2 RFID: the level always
+// inverts at a bit boundary, and a data 0 adds a mid-bit inversion.
+// Decoding compares the two half-bits (equal halves = 1), which is
+// threshold-free and self-synchronising against slow envelope drift.
+type FM0 struct {
+	// level is the current line level carried across Encode calls so a
+	// frame can be encoded incrementally.
+	level byte
+}
+
+// Name implements LineCode.
+func (*FM0) Name() string { return "fm0" }
+
+// ChipsPerBit implements LineCode.
+func (*FM0) ChipsPerBit() int { return 2 }
+
+// Reset returns the encoder to the initial line level.
+func (f *FM0) Reset() { f.level = 0 }
+
+// Encode implements LineCode.
+func (f *FM0) Encode(bits []byte, dst []byte) []byte {
+	for _, b := range bits {
+		f.level ^= 1 // invert at bit boundary
+		first := f.level
+		second := f.level
+		if b&1 == 0 {
+			second ^= 1 // mid-bit inversion encodes 0
+			f.level = second
+		}
+		dst = append(dst, first, second)
+	}
+	return dst
+}
+
+// Decode implements LineCode.
+func (*FM0) Decode(levels []float64, threshold float64, dst []byte) []byte {
+	if threshold <= 0 {
+		// FM0 inverts at every bit boundary, so any multi-bit window
+		// contains both levels and the midpoint is well defined.
+		threshold = midpointThreshold(levels)
+	}
+	for i := 0; i+1 < len(levels); i += 2 {
+		// Equal halves -> no mid-bit transition -> data 1.
+		a := levels[i] > threshold
+		b := levels[i+1] > threshold
+		if a == b {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// CodeByName returns a fresh line code instance for the given name.
+func CodeByName(name string) (LineCode, error) {
+	switch name {
+	case "nrz":
+		return NRZ{}, nil
+	case "manchester":
+		return Manchester{}, nil
+	case "fm0":
+		return &FM0{}, nil
+	default:
+		return nil, fmt.Errorf("phy: unknown line code %q", name)
+	}
+}

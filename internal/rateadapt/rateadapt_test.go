@@ -1,0 +1,198 @@
+package rateadapt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChunkLossProbShape(t *testing.T) {
+	r := RateSpec{ReqSNRdB: 8}
+	if got := ChunkLossProb(r, 8); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("loss at requirement = %g, want 0.5", got)
+	}
+	if ChunkLossProb(r, 20) > 0.01 {
+		t.Fatal("high SNR must have near-zero loss")
+	}
+	if ChunkLossProb(r, -5) < 0.99 {
+		t.Fatal("low SNR must lose nearly everything")
+	}
+	// Monotone decreasing in SNR.
+	prev := 1.0
+	for snr := -10.0; snr <= 30; snr += 0.5 {
+		p := ChunkLossProb(r, snr)
+		if p > prev {
+			t.Fatalf("loss not monotone at %g dB", snr)
+		}
+		prev = p
+	}
+}
+
+func TestDefaultRatesOrdered(t *testing.T) {
+	for i := 1; i < len(DefaultRates); i++ {
+		if DefaultRates[i].Mult <= DefaultRates[i-1].Mult {
+			t.Fatal("rates must be ordered slow to fast")
+		}
+		if DefaultRates[i].ReqSNRdB <= DefaultRates[i-1].ReqSNRdB {
+			t.Fatal("faster rates must require more SNR")
+		}
+	}
+}
+
+func TestFixedAdapter(t *testing.T) {
+	f := &Fixed{Index: 2, RateName: "1x"}
+	f.OnChunk(false)
+	f.OnFrame(false)
+	if f.Rate() != 2 {
+		t.Fatal("fixed adapter must never move")
+	}
+	if f.Name() != "fixed-1x" {
+		t.Fatalf("name = %s", f.Name())
+	}
+}
+
+func TestARFStepsUpAndDown(t *testing.T) {
+	a := NewARF(4)
+	if a.Rate() != 0 {
+		t.Fatal("ARF must start at the lowest rate")
+	}
+	for i := 0; i < 3; i++ {
+		a.OnFrame(true)
+	}
+	if a.Rate() != 1 {
+		t.Fatalf("after 3 good frames rate = %d, want 1", a.Rate())
+	}
+	a.OnFrame(false)
+	if a.Rate() != 0 {
+		t.Fatalf("after a bad frame rate = %d, want 0", a.Rate())
+	}
+	// Chunk feedback is ignored.
+	for i := 0; i < 100; i++ {
+		a.OnChunk(true)
+	}
+	if a.Rate() != 0 {
+		t.Fatal("ARF must ignore chunk feedback")
+	}
+}
+
+func TestARFBounded(t *testing.T) {
+	a := NewARF(2)
+	for i := 0; i < 50; i++ {
+		a.OnFrame(true)
+	}
+	if a.Rate() != 1 {
+		t.Fatalf("rate = %d, want max 1", a.Rate())
+	}
+	for i := 0; i < 50; i++ {
+		a.OnFrame(false)
+	}
+	if a.Rate() != 0 {
+		t.Fatalf("rate = %d, want 0", a.Rate())
+	}
+}
+
+func TestFullDuplexAdapterReactsPerChunk(t *testing.T) {
+	a := NewFullDuplex(4)
+	for i := 0; i < 8; i++ {
+		a.OnChunk(true)
+	}
+	if a.Rate() != 1 {
+		t.Fatalf("after 8 ACKs rate = %d, want 1", a.Rate())
+	}
+	a.OnChunk(false)
+	if a.Rate() != 0 {
+		t.Fatal("one NACK must step down immediately")
+	}
+	a.OnChunk(false) // at floor
+	if a.Rate() != 0 {
+		t.Fatal("rate must not go below 0")
+	}
+}
+
+func TestRunTraceDeterministic(t *testing.T) {
+	cfg := SimConfig{MeanSNRdB: 10, Seed: 7}
+	a := RunTrace(cfg, NewFullDuplex(4), 5000)
+	b := RunTrace(cfg, NewFullDuplex(4), 5000)
+	if a.DeliveredBytes != b.DeliveredBytes || a.Switches != b.Switches {
+		t.Fatal("same seed must reproduce")
+	}
+}
+
+func TestHighSNRFavoursFastRate(t *testing.T) {
+	cfg := SimConfig{MeanSNRdB: 25, Seed: 11}
+	res := RunTrace(cfg, NewFullDuplex(len(DefaultRates)), 20000)
+	// Most time should be spent at the top rate.
+	top := res.RateTime[len(res.RateTime)-1]
+	var total float64
+	for _, v := range res.RateTime {
+		total += v
+	}
+	if top/total < 0.5 {
+		t.Fatalf("at 25 dB the adapter spent only %.0f%% at the top rate", 100*top/total)
+	}
+}
+
+func TestLowSNRStaysSlow(t *testing.T) {
+	cfg := SimConfig{MeanSNRdB: 2, Seed: 13}
+	res := RunTrace(cfg, NewFullDuplex(len(DefaultRates)), 20000)
+	slow := res.RateTime[0] + res.RateTime[1]
+	var total float64
+	for _, v := range res.RateTime {
+		total += v
+	}
+	if slow/total < 0.5 {
+		t.Fatalf("at 2 dB the adapter spent only %.0f%% at slow rates", 100*slow/total)
+	}
+}
+
+func TestFDOutperformsARFOnFades(t *testing.T) {
+	// Averaged over several seeds, per-chunk adaptation should deliver
+	// more than frame-level probing on a channel whose coherence is
+	// shorter than a frame.
+	var fdSum, arfSum float64
+	for seed := uint64(0); seed < 5; seed++ {
+		cfg := SimConfig{MeanSNRdB: 12, FadeRho: 0.95, FrameChunks: 48, Seed: seed}
+		fd := RunTrace(cfg, NewFullDuplex(len(DefaultRates)), 30000)
+		arf := RunTrace(cfg, NewARF(len(DefaultRates)), 30000)
+		fdSum += fd.ThroughputBytesPerTime()
+		arfSum += arf.ThroughputBytesPerTime()
+	}
+	if fdSum <= arfSum {
+		t.Fatalf("FD adaptation %g must beat ARF %g on fast fades", fdSum/5, arfSum/5)
+	}
+}
+
+func TestFDBeatsBadFixedChoices(t *testing.T) {
+	cfg := SimConfig{MeanSNRdB: 10, FadeRho: 0.98, Seed: 17}
+	fd := RunTrace(cfg, NewFullDuplex(len(DefaultRates)), 30000)
+	fixedSlow := RunTrace(cfg, &Fixed{Index: 0, RateName: "0.25x"}, 30000)
+	fixedFast := RunTrace(cfg, &Fixed{Index: 3, RateName: "2x"}, 30000)
+	if fd.ThroughputBytesPerTime() <= fixedSlow.ThroughputBytesPerTime() {
+		t.Fatalf("FD %g must beat always-slow %g", fd.ThroughputBytesPerTime(), fixedSlow.ThroughputBytesPerTime())
+	}
+	if fd.ThroughputBytesPerTime() <= fixedFast.ThroughputBytesPerTime() {
+		t.Fatalf("FD %g must beat always-fast %g at 10 dB", fd.ThroughputBytesPerTime(), fixedFast.ThroughputBytesPerTime())
+	}
+}
+
+func TestTraceResultAccessors(t *testing.T) {
+	var r TraceResult
+	if r.ThroughputBytesPerTime() != 0 || r.LossRate() != 0 {
+		t.Fatal("zero-value accessors must be 0")
+	}
+	r.Adapter = "x"
+	if r.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func TestFeedbackBERDegradesFD(t *testing.T) {
+	clean := SimConfig{MeanSNRdB: 12, FadeRho: 0.97, Seed: 19}
+	noisy := clean
+	noisy.FeedbackBER = 0.2
+	a := RunTrace(clean, NewFullDuplex(len(DefaultRates)), 30000)
+	b := RunTrace(noisy, NewFullDuplex(len(DefaultRates)), 30000)
+	if b.ThroughputBytesPerTime() >= a.ThroughputBytesPerTime() {
+		t.Fatalf("20%% feedback BER should hurt: %g vs %g",
+			b.ThroughputBytesPerTime(), a.ThroughputBytesPerTime())
+	}
+}

@@ -1,0 +1,243 @@
+// Package reader models the powered side of the link: it transmits the
+// forward OOK frame from a full-duplex antenna and, while transmitting,
+// decodes the tag's backscatter feedback out of its own receive chain.
+//
+// Self-interference handling is the part the paper gets for free: the
+// reader knows its transmit envelope exactly, so it divides the received
+// envelope by it (SINormalize) and the tag's reflection becomes a
+// two-level ripple around a constant. The alternative SISubtract mode
+// (estimate the leakage coefficient, subtract the scaled transmit signal,
+// envelope the residual) is provided for the ablation benchmark.
+package reader
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/feedback"
+	"repro/internal/phy"
+	"repro/internal/sigproc"
+)
+
+// SIMode selects the self-interference handling strategy.
+type SIMode int
+
+// Self-interference modes.
+const (
+	// SINormalize divides the received envelope by the known transmit
+	// envelope (the paper's approach; needs no calibration).
+	SINormalize SIMode = iota
+	// SISubtract estimates the leakage coefficient from a calibration
+	// window and subtracts the scaled transmit waveform before envelope
+	// detection.
+	SISubtract
+)
+
+// String returns the mode name.
+func (m SIMode) String() string {
+	switch m {
+	case SINormalize:
+		return "normalize"
+	case SISubtract:
+		return "subtract"
+	default:
+		return fmt.Sprintf("SIMode(%d)", int(m))
+	}
+}
+
+// Config describes a reader.
+type Config struct {
+	// Modem is the forward-link OOK modem.
+	Modem phy.OOK
+	// Code is the forward line code name (default "fm0").
+	Code string
+	// WarmupChips is the preamble warmup length (default 16).
+	WarmupChips int
+	// SI selects the self-interference strategy (default SINormalize).
+	SI SIMode
+	// FeedbackCode is the feedback line code (default Manchester).
+	FeedbackCode feedback.Code
+}
+
+// Layout maps the transmitted waveform to protocol sections, in samples.
+type Layout struct {
+	// PadLen is the leading idle-carrier padding.
+	PadLen int
+	// AcquireEnd is the end of the preamble+header section (the tag's
+	// acquisition block is [0, AcquireEnd)).
+	AcquireEnd int
+	// ChunkEnds[i] is the end sample of chunk i's block; chunk i spans
+	// [prevEnd, ChunkEnds[i]). The last chunk block includes the frame
+	// trailer bytes.
+	ChunkEnds []int
+	// FlushEnd is the end of the trailing idle feedback-flush slot.
+	FlushEnd int
+}
+
+// NumChunks returns the number of chunk blocks.
+func (l Layout) NumChunks() int { return len(l.ChunkEnds) }
+
+// ChunkBlock returns the [start, end) sample range of chunk i.
+func (l Layout) ChunkBlock(i int) (int, int) {
+	start := l.AcquireEnd
+	if i > 0 {
+		start = l.ChunkEnds[i-1]
+	}
+	return start, l.ChunkEnds[i]
+}
+
+// FlushBlock returns the [start, end) sample range of the flush slot.
+func (l Layout) FlushBlock() (int, int) {
+	if n := len(l.ChunkEnds); n > 0 {
+		return l.ChunkEnds[n-1], l.FlushEnd
+	}
+	return l.AcquireEnd, l.FlushEnd
+}
+
+// Reader is a full-duplex reader instance. Not safe for concurrent use.
+type Reader struct {
+	cfg  Config
+	code phy.LineCode
+
+	leakAmp float64 // SISubtract calibration
+
+	// Scratch buffers.
+	rxEnv, txEnv, normBuf, resBuf []float64
+}
+
+// New returns a reader with the given configuration.
+func New(cfg Config) (*Reader, error) {
+	if cfg.Code == "" {
+		cfg.Code = "fm0"
+	}
+	code, err := phy.CodeByName(cfg.Code)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.WarmupChips == 0 {
+		cfg.WarmupChips = 16
+	}
+	return &Reader{cfg: cfg, code: code}, nil
+}
+
+// Modem returns the configured forward modem.
+func (r *Reader) Modem() phy.OOK { return r.cfg.Modem }
+
+// BuildWaveform renders a wire-format frame into the transmit waveform
+// and its section layout. padChips idle chips precede the preamble
+// (randomise per frame to exercise the tag's sync); the flush slot is one
+// last-chunk-block long so the tag can return the final chunk's
+// feedback.
+func (r *Reader) BuildWaveform(wire []byte, hdr phy.Header, padChips int) (sigproc.IQ, Layout, error) {
+	if padChips < 0 {
+		padChips = 0
+	}
+	o := r.cfg.Modem
+	cpb := r.code.ChipsPerBit()
+	sps := o.SamplesPerChipN()
+	if fm0, ok := r.code.(*phy.FM0); ok {
+		fm0.Reset()
+	}
+
+	var wave sigproc.IQ
+	wave = o.AppendIdle(wave, padChips)
+	pre := phy.DefaultPreambleChips(r.cfg.WarmupChips)
+	wave = o.AppendChips(wave, pre)
+
+	bits := sigproc.BytesToBits(wire, nil)
+	chips := r.code.Encode(bits, nil)
+	wave = o.AppendChips(wave, chips)
+
+	layout := Layout{PadLen: padChips * sps}
+	layout.AcquireEnd = (padChips+len(pre)+phy.HeaderSize*8*cpb)*sps + 0
+	n := hdr.NumChunks()
+	layout.ChunkEnds = make([]int, n)
+	for i := 0; i < n; i++ {
+		_, endByte := hdr.ChunkWireRange(i)
+		end := (padChips+len(pre))*sps + endByte*8*cpb*sps
+		if i == n-1 {
+			// Fold the frame trailer into the last chunk block.
+			end += phy.FrameTrailerSize * 8 * cpb * sps
+		}
+		layout.ChunkEnds[i] = end
+	}
+	// Flush slot: mirror the last chunk's duration (or one header length
+	// for chunkless frames) of idle carrier.
+	flushLen := phy.HeaderSize * 8 * cpb * sps
+	if n > 0 {
+		s, e := layout.ChunkBlock(n - 1)
+		flushLen = e - s
+	}
+	wave = o.AppendIdle(wave, flushLen/sps+1)
+	layout.FlushEnd = len(wave)
+	if got := layout.ChunkEnds; n > 0 && got[n-1] > len(wave) {
+		return nil, Layout{}, fmt.Errorf("reader: layout overruns waveform (%d > %d)", got[n-1], len(wave))
+	}
+	return wave, layout, nil
+}
+
+// Calibrate estimates the self-interference leakage amplitude from a
+// window where the tag is known to be absorbing (e.g. the idle pad):
+// leak = mean(|rx|) / mean(|tx|). Required before SISubtract decoding;
+// harmless otherwise.
+func (r *Reader) Calibrate(rxPad, txPad sigproc.IQ) {
+	r.rxEnv = rxPad.Envelope(r.rxEnv[:0])
+	r.txEnv = txPad.Envelope(r.txEnv[:0])
+	rx := sigproc.MeanFloat(r.rxEnv)
+	tx := sigproc.MeanFloat(r.txEnv)
+	if tx > 0 {
+		r.leakAmp = rx / tx
+	}
+}
+
+// LeakEstimate returns the calibrated leakage amplitude (0 before
+// Calibrate).
+func (r *Reader) LeakEstimate() float64 { return r.leakAmp }
+
+// DecodeFeedbackBit recovers one feedback bit from a block during which
+// the tag Manchester-modulated its reflection across the whole block.
+// rx is what the reader received, tx what it transmitted over the same
+// samples. The margin is the achieved level separation (a confidence /
+// collision-anomaly signal).
+func (r *Reader) DecodeFeedbackBit(rx, tx sigproc.IQ) (bit byte, margin float64) {
+	if len(rx) != len(tx) {
+		panic("reader: rx/tx block length mismatch")
+	}
+	if len(rx) < 2 {
+		return 0, 0
+	}
+	cfg := feedback.Config{SamplesPerBit: len(rx), Code: r.cfg.FeedbackCode}
+	switch r.cfg.SI {
+	case SISubtract:
+		// Residual = rx - leak*tx; its envelope is high while the tag
+		// reflects and near zero while it absorbs.
+		if cap(r.resBuf) < len(rx) {
+			r.resBuf = make([]float64, len(rx))
+		}
+		r.resBuf = r.resBuf[:len(rx)]
+		l := complex(r.leakAmp, 0)
+		for i := range rx {
+			d := rx[i] - l*tx[i]
+			r.resBuf[i] = realAbs(d)
+		}
+		if r.cfg.FeedbackCode == feedback.CodeNRZ {
+			thr := cfg.EstimateThreshold(r.resBuf)
+			return cfg.DecodeOne(r.resBuf, thr)
+		}
+		return cfg.DecodeOne(r.resBuf, 0)
+	default: // SINormalize
+		r.rxEnv = rx.Envelope(r.rxEnv[:0])
+		r.txEnv = tx.Envelope(r.txEnv[:0])
+		r.normBuf = feedback.Normalize(r.rxEnv, r.txEnv, 0, r.normBuf[:0])
+		if r.cfg.FeedbackCode == feedback.CodeNRZ {
+			thr := cfg.EstimateThreshold(r.normBuf)
+			return cfg.DecodeOne(r.normBuf, thr)
+		}
+		return cfg.DecodeOne(r.normBuf, 0)
+	}
+}
+
+func realAbs(v complex128) float64 {
+	re, im := real(v), imag(v)
+	return math.Sqrt(re*re + im*im)
+}

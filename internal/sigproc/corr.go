@@ -1,0 +1,126 @@
+package sigproc
+
+import "math"
+
+// CrossCorrelate computes the sliding dot product of pattern against x at
+// every offset where the pattern fully fits, writing results into dst
+// (allocated if nil or short). The result has length len(x)-len(pattern)+1;
+// it is empty when the pattern does not fit.
+func CrossCorrelate(x, pattern IQ, dst IQ) IQ {
+	n := len(x) - len(pattern) + 1
+	if n < 0 {
+		n = 0
+	}
+	if cap(dst) < n {
+		dst = make(IQ, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		var acc complex128
+		for j, p := range pattern {
+			// Correlation uses the conjugate of the pattern.
+			acc += x[i+j] * complex(real(p), -imag(p))
+		}
+		dst[i] = acc
+	}
+	return dst
+}
+
+// CorrelateReal computes the sliding dot product of a real pattern against
+// a real signal, writing results into dst (allocated if nil or short).
+func CorrelateReal(x, pattern []float64, dst []float64) []float64 {
+	n := len(x) - len(pattern) + 1
+	if n < 0 {
+		n = 0
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		var acc float64
+		for j, p := range pattern {
+			acc += x[i+j] * p
+		}
+		dst[i] = acc
+	}
+	return dst
+}
+
+// NormalizedCorrelateReal computes the normalised cross-correlation
+// (cosine similarity) of a zero-mean pattern against x at every offset.
+// Values are in [-1, 1]; offsets where the window has zero energy yield 0.
+func NormalizedCorrelateReal(x, pattern []float64, dst []float64) []float64 {
+	n := len(x) - len(pattern) + 1
+	if n < 0 {
+		n = 0
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	var pe float64
+	pm := MeanFloat(pattern)
+	zp := make([]float64, len(pattern))
+	for i, p := range pattern {
+		zp[i] = p - pm
+		pe += zp[i] * zp[i]
+	}
+	if pe == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	for i := 0; i < n; i++ {
+		var xm float64
+		for j := range pattern {
+			xm += x[i+j]
+		}
+		xm /= float64(len(pattern))
+		var acc, xe float64
+		for j := range pattern {
+			xv := x[i+j] - xm
+			acc += xv * zp[j]
+			xe += xv * xv
+		}
+		if xe == 0 {
+			dst[i] = 0
+			continue
+		}
+		dst[i] = acc / math.Sqrt(xe*pe)
+	}
+	return dst
+}
+
+// PeakIndex returns the index of the maximum value in x, or -1 if x is
+// empty.
+func PeakIndex(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range x[1:] {
+		if v > x[best] {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// PeakAbsIndex returns the index of the maximum |x[i]| in a complex
+// buffer, or -1 if x is empty.
+func PeakAbsIndex(x IQ) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best, bm := 0, 0.0
+	for i, v := range x {
+		m := real(v)*real(v) + imag(v)*imag(v)
+		if m > bm {
+			bm = m
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,200 @@
+// Package simrand provides the deterministic random sources and
+// distributions used across the simulator: Gaussian noise, Rayleigh and
+// Rician fading draws, exponential/Poisson event processes, and a
+// Gilbert-Elliott two-state burst-loss channel.
+//
+// Every experiment takes an explicit seed so results reproduce exactly.
+// The underlying generator is PCG from math/rand/v2.
+package simrand
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Source is a deterministic random source with the distribution helpers
+// the simulator needs. It is not safe for concurrent use; give each
+// goroutine its own Source (use Split).
+type Source struct {
+	rng *rand.Rand
+}
+
+// New returns a Source seeded deterministically from seed.
+func New(seed uint64) *Source {
+	return &Source{rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Split derives an independent child source. The child's stream is a
+// deterministic function of the parent state, so seeding the parent fixes
+// the whole tree.
+func (s *Source) Split() *Source {
+	return &Source{rng: rand.New(rand.NewPCG(s.rng.Uint64(), s.rng.Uint64()))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Uint64 returns a uniform 64-bit value.
+func (s *Source) Uint64() uint64 { return s.rng.Uint64() }
+
+// IntN returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) IntN(n int) int { return s.rng.IntN(n) }
+
+// Bit returns 0 or 1 with equal probability.
+func (s *Source) Bit() byte { return byte(s.rng.Uint64() & 1) }
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.rng.Float64() < p }
+
+// Normal returns a standard normal draw (Box-Muller via rand.NormFloat64).
+func (s *Source) Normal() float64 { return s.rng.NormFloat64() }
+
+// Gaussian returns a normal draw with the given mean and standard
+// deviation.
+func (s *Source) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*s.rng.NormFloat64()
+}
+
+// ComplexNormal returns a circularly-symmetric complex Gaussian draw with
+// the given total variance (power). Real and imaginary parts each carry
+// half the variance, which is the standard baseband AWGN model.
+func (s *Source) ComplexNormal(variance float64) complex128 {
+	sigma := math.Sqrt(variance / 2)
+	return complex(sigma*s.rng.NormFloat64(), sigma*s.rng.NormFloat64())
+}
+
+// Rayleigh returns a Rayleigh-distributed amplitude whose mean square is
+// meanSquare, i.e. the envelope of a complex Gaussian with that power.
+func (s *Source) Rayleigh(meanSquare float64) float64 {
+	// |h| where h ~ CN(0, meanSquare).
+	h := s.ComplexNormal(meanSquare)
+	return math.Hypot(real(h), imag(h))
+}
+
+// RayleighCoeff returns a complex channel coefficient h ~ CN(0, power):
+// Rayleigh-fading amplitude with uniform phase and E[|h|^2] = power.
+func (s *Source) RayleighCoeff(power float64) complex128 {
+	return s.ComplexNormal(power)
+}
+
+// RicianCoeff returns a complex channel coefficient with Rician factor K
+// (ratio of line-of-sight to scattered power) and E[|h|^2] = power.
+// K = 0 degenerates to Rayleigh; large K approaches a pure LOS path.
+func (s *Source) RicianCoeff(power, k float64) complex128 {
+	if k < 0 {
+		k = 0
+	}
+	los := math.Sqrt(power * k / (k + 1))
+	scatter := s.ComplexNormal(power / (k + 1))
+	phase := 2 * math.Pi * s.rng.Float64()
+	return complex(los*math.Cos(phase), los*math.Sin(phase)) + scatter
+}
+
+// Exp returns an exponential draw with the given mean. It panics if mean
+// is not positive.
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("simrand: exponential mean must be positive")
+	}
+	return s.rng.ExpFloat64() * mean
+}
+
+// Poisson returns a Poisson draw with the given mean (Knuth's algorithm
+// for small means, normal approximation above 30).
+func (s *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		n := int(math.Round(s.Gaussian(mean, math.Sqrt(mean))))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Perm fills dst with a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	return s.rng.Perm(n)
+}
+
+// FillNoise adds circularly-symmetric complex Gaussian noise of the given
+// power (variance) to every sample of x in place.
+func (s *Source) FillNoise(x []complex128, power float64) {
+	if power <= 0 {
+		return
+	}
+	sigma := math.Sqrt(power / 2)
+	for i := range x {
+		x[i] += complex(sigma*s.rng.NormFloat64(), sigma*s.rng.NormFloat64())
+	}
+}
+
+// GilbertElliott is a two-state Markov burst-loss channel. In the Good
+// state bits/chunks are lost with probability LossGood, in the Bad state
+// with LossBad; the state flips with the configured transition
+// probabilities per step. It reproduces bursty interference loss, the
+// regime where instantaneous feedback pays off most.
+type GilbertElliott struct {
+	PGoodToBad float64 // transition probability Good -> Bad per step
+	PBadToGood float64 // transition probability Bad -> Good per step
+	LossGood   float64 // loss probability while Good
+	LossBad    float64 // loss probability while Bad
+
+	bad bool
+	src *Source
+}
+
+// NewGilbertElliott returns a Gilbert-Elliott channel starting in the
+// Good state, driven by its own child of src.
+func NewGilbertElliott(src *Source, pGB, pBG, lossGood, lossBad float64) *GilbertElliott {
+	return &GilbertElliott{
+		PGoodToBad: pGB, PBadToGood: pBG,
+		LossGood: lossGood, LossBad: lossBad,
+		src: src.Split(),
+	}
+}
+
+// Step advances the Markov state one step and reports whether the current
+// transmission unit is lost.
+func (g *GilbertElliott) Step() bool {
+	if g.bad {
+		if g.src.Bool(g.PBadToGood) {
+			g.bad = false
+		}
+	} else {
+		if g.src.Bool(g.PGoodToBad) {
+			g.bad = true
+		}
+	}
+	loss := g.LossGood
+	if g.bad {
+		loss = g.LossBad
+	}
+	return g.src.Bool(loss)
+}
+
+// Bad reports whether the channel is currently in the Bad state.
+func (g *GilbertElliott) Bad() bool { return g.bad }
+
+// SteadyStateLoss returns the long-run average loss probability implied by
+// the configured transition matrix.
+func (g *GilbertElliott) SteadyStateLoss() float64 {
+	denom := g.PGoodToBad + g.PBadToGood
+	if denom == 0 {
+		return g.LossGood
+	}
+	pBad := g.PGoodToBad / denom
+	return (1-pBad)*g.LossGood + pBad*g.LossBad
+}
