@@ -1,13 +1,13 @@
 package fdbackscatter
 
-// One benchmark per figure/table of the evaluation (see DESIGN.md's
-// per-experiment index), plus micro-benchmarks of the hot paths. Each
+// One benchmark per figure/table of the evaluation (see the README's
+// experiment index), plus micro-benchmarks of the hot paths. Each
 // experiment benchmark executes the same runner cmd/fdbench uses, in
 // quick mode so -bench completes in reasonable time; run cmd/fdbench for
-// the full-trial tables.
+// the full-trial tables. The *Parallel variants run the same experiment
+// with a full worker pool, for serial-vs-parallel comparisons.
 
 import (
-	"io"
 	"testing"
 
 	"repro/internal/bench"
@@ -19,6 +19,10 @@ import (
 )
 
 func benchExperiment(b *testing.B, id string) {
+	benchExperimentWorkers(b, id, 1)
+}
+
+func benchExperimentWorkers(b *testing.B, id string, workers int) {
 	b.Helper()
 	e, err := bench.ByID(id)
 	if err != nil {
@@ -26,7 +30,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res := e.Run(bench.RunConfig{Seed: uint64(i) + 1, Quick: true})
+		res := e.Run(bench.RunConfig{Seed: uint64(i) + 1, Quick: true, Workers: workers})
 		if res.Table.NumRows() == 0 {
 			b.Fatal("no rows")
 		}
@@ -42,6 +46,16 @@ func BenchmarkFig6RateAdaptation(b *testing.B)   { benchExperiment(b, "fig6") }
 func BenchmarkFig7WaveformLink(b *testing.B)     { benchExperiment(b, "fig7") }
 func BenchmarkTab1FeedbackLatency(b *testing.B)  { benchExperiment(b, "tab1") }
 func BenchmarkTab2EnergyBudget(b *testing.B)     { benchExperiment(b, "tab2") }
+
+func BenchmarkFig1FeedbackBERParallel(b *testing.B) {
+	benchExperimentWorkers(b, "fig1", bench.AutoWorkers())
+}
+func BenchmarkFig6RateAdaptationParallel(b *testing.B) {
+	benchExperimentWorkers(b, "fig6", bench.AutoWorkers())
+}
+func BenchmarkFig7WaveformLinkParallel(b *testing.B) {
+	benchExperimentWorkers(b, "fig7", bench.AutoWorkers())
+}
 
 func BenchmarkAblationSINorm(b *testing.B)       { benchExperiment(b, "abl-sinorm") }
 func BenchmarkAblationFeedbackCode(b *testing.B) { benchExperiment(b, "abl-fbcode") }
@@ -125,5 +139,3 @@ func BenchmarkFacadeExperimentList(b *testing.B) {
 		}
 	}
 }
-
-var _ = io.Discard // referenced by facade tests

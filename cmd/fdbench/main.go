@@ -7,6 +7,11 @@
 //	fdbench -run all -quick       # everything, reduced trials
 //	fdbench -run fig1 -format csv # machine-readable output
 //	fdbench -run fig6 -seed 7     # different random seed
+//	fdbench -run fig1 -parallel 1 # force serial (output is identical)
+//
+// Experiments run their parameter cells on a worker pool; -parallel
+// sets the pool size (0 = all CPUs). Output is byte-identical at any
+// worker count for the same seed.
 package main
 
 import (
@@ -19,11 +24,12 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiments and exit")
-		run    = flag.String("run", "", "experiment id to run, or 'all'")
-		format = flag.String("format", "text", "output format: text or csv")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		quick  = flag.Bool("quick", false, "reduced trial counts")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "", "experiment id to run, or 'all'")
+		format   = flag.String("format", "text", "output format: text or csv")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", false, "reduced trial counts")
+		parallel = flag.Int("parallel", 0, "worker goroutines per experiment (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -50,7 +56,11 @@ func main() {
 		targets = []bench.Experiment{e}
 	}
 
-	cfg := bench.RunConfig{Seed: *seed, Quick: *quick}
+	workers := *parallel
+	if workers <= 0 {
+		workers = bench.AutoWorkers()
+	}
+	cfg := bench.RunConfig{Seed: *seed, Quick: *quick, Workers: workers}
 	for i, e := range targets {
 		if i > 0 {
 			fmt.Println()

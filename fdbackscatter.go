@@ -14,8 +14,10 @@
 //     figure/table of the evaluation.
 //
 // Everything is deterministic given a seed and uses only the standard
-// library. See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// the reproduced results.
+// library: experiments split into independent parameter cells that a
+// worker pool can execute concurrently with byte-identical output. See
+// README.md for the build instructions, the experiment index, and the
+// cmd/fdbench -parallel flag.
 package fdbackscatter
 
 import (
@@ -140,13 +142,25 @@ func Experiments() []ExperimentInfo {
 
 // RunExperiment executes the experiment with the given id, writing its
 // table to w (text when csv is false) and returning the expected-shape
-// statement.
+// statement. It runs serially; RunExperimentParallel spreads the
+// experiment's cells over a worker pool with identical output.
 func RunExperiment(id string, seed uint64, quick, csv bool, w io.Writer) (shape string, err error) {
+	return RunExperimentParallel(id, seed, 1, quick, csv, w)
+}
+
+// RunExperimentParallel is RunExperiment with an explicit worker count
+// for the experiment's independent parameter cells: 0 or negative uses
+// all CPUs, 1 runs serially. Output is byte-identical at any worker
+// count for the same seed.
+func RunExperimentParallel(id string, seed uint64, workers int, quick, csv bool, w io.Writer) (shape string, err error) {
 	e, err := bench.ByID(id)
 	if err != nil {
 		return "", err
 	}
-	res := e.Run(bench.RunConfig{Seed: seed, Quick: quick})
+	if workers <= 0 {
+		workers = bench.AutoWorkers()
+	}
+	res := e.Run(bench.RunConfig{Seed: seed, Quick: quick, Workers: workers})
 	if csv {
 		err = res.Table.WriteCSV(w)
 	} else {

@@ -83,4 +83,23 @@ func TestFacadeExperiments(t *testing.T) {
 	if _, err := RunExperiment("nope", 1, true, false, io.Discard); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
+	if _, err := RunExperimentParallel("nope", 1, 0, true, false, io.Discard); err == nil {
+		t.Fatal("unknown experiment must error in parallel path too")
+	}
+}
+
+// The parallel facade path must reproduce the serial one byte for byte.
+func TestFacadeParallelMatchesSerial(t *testing.T) {
+	for _, id := range []string{"fig1", "fig4", "tab1"} {
+		var serial, parallel strings.Builder
+		if _, err := RunExperiment(id, 5, true, true, &serial); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunExperimentParallel(id, 5, 0, true, true, &parallel); err != nil {
+			t.Fatal(err)
+		}
+		if serial.String() != parallel.String() {
+			t.Fatalf("%s: parallel output differs from serial", id)
+		}
+	}
 }

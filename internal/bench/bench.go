@@ -1,7 +1,13 @@
 // Package bench is the experiment harness: one runner per figure/table
 // of the evaluation, each regenerating the corresponding rows/series
-// from the DESIGN.md experiment index. cmd/fdbench and the top-level
-// benchmarks both drive this package.
+// from the experiment index in the repository README. cmd/fdbench and
+// the top-level benchmarks both drive this package.
+//
+// Each experiment decomposes into independent cells (one per parameter
+// point) executed by a worker pool sized by RunConfig.Workers; output
+// is byte-identical at any worker count because cells are seeded from
+// the run seed and their own parameters, and rows are collected in
+// submission order.
 package bench
 
 import (
@@ -17,6 +23,10 @@ type RunConfig struct {
 	Seed uint64
 	// Quick shrinks trial counts for CI/benchmark loops.
 	Quick bool
+	// Workers is how many experiment cells run concurrently; 0 or 1
+	// runs serially. Any value produces byte-identical output at the
+	// same Seed. Use AutoWorkers for "all CPUs".
+	Workers int
 }
 
 // trials scales an iteration count down in Quick mode.
@@ -33,7 +43,8 @@ func (c RunConfig) trials(full int) int {
 
 // Experiment is one reproducible figure or table.
 type Experiment struct {
-	// ID is the figure/table identifier from DESIGN.md (e.g. "fig4").
+	// ID is the figure/table identifier from the evaluation (e.g.
+	// "fig4"); the README's experiment index lists them all.
 	ID string
 	// Title is the one-line description shown in listings.
 	Title string
@@ -42,7 +53,7 @@ type Experiment struct {
 }
 
 // Result bundles the experiment output with commentary on the expected
-// shape, for EXPERIMENTS.md-style reporting.
+// shape, so reports can state what the run should reproduce.
 type Result struct {
 	ID    string
 	Title string

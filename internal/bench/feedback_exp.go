@@ -36,9 +36,12 @@ func feedbackChannelBER(distM, rho, txPowerW, noiseW float64, samplesPerBit, nBi
 	reflAmp := fwdAmp * math.Sqrt(rho) * bwdAmp
 
 	errs := 0
+	var bitBuf [1]byte
+	states := make([]byte, 0, samplesPerBit)
 	for i := 0; i < nBits; i++ {
 		bit := src.Bit()
-		states := cfg.AppendStates(nil, []byte{bit})
+		bitBuf[0] = bit
+		states = cfg.AppendStates(states[:0], bitBuf[:])
 		for j := range rx {
 			v := complex(leakAmp, 0) * tx[j]
 			if states[j] == feedback.StateReflect {
@@ -71,12 +74,17 @@ func init() {
 				"dist_m", "rate_kbps", "ber", "ber_analytic")
 			nBits := cfg.trials(20000)
 			const fs = 1e6
+			cs := cfg.cells()
 			for _, spb := range []int{10, 100, 1000} { // 100k / 10k / 1 kbps
 				for _, d := range []float64{0.5, 1, 2, 3, 4, 6, 8} {
-					ber, ana := feedbackChannelBER(d, 0.3, 0.1, 1e-9, spb, nBits, cfg.Seed+uint64(spb))
-					tbl.AddRow(d, fs/float64(spb)/1000, ber, ana)
+					seed := subSeed(cfg.Seed, "fig1", uint64(spb), fbits(d))
+					cs.add(func() row {
+						ber, ana := feedbackChannelBER(d, 0.3, 0.1, 1e-9, spb, nBits, seed)
+						return row{d, fs / float64(spb) / 1000, ber, ana}
+					})
 				}
 			}
+			cs.flushTo(tbl)
 			return &Result{ID: "fig1", Title: tbl.Title, Table: tbl,
 				Shape: "BER rises with distance and falls with averaging: the 1 kbps feedback decodes metres farther than 100 kbps at equal BER."}
 		},
@@ -89,10 +97,15 @@ func init() {
 			tbl := trace.NewTable("fig2: feedback BER vs rho",
 				"rho", "ber", "ber_analytic")
 			nBits := cfg.trials(20000)
+			cs := cfg.cells()
 			for _, rho := range []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9} {
-				ber, ana := feedbackChannelBER(3, rho, 0.1, 1e-9, 100, nBits, cfg.Seed+7)
-				tbl.AddRow(rho, ber, ana)
+				seed := subSeed(cfg.Seed, "fig2", fbits(rho))
+				cs.add(func() row {
+					ber, ana := feedbackChannelBER(3, rho, 0.1, 1e-9, 100, nBits, seed)
+					return row{rho, ber, ana}
+				})
 			}
+			cs.flushTo(tbl)
 			return &Result{ID: "fig2", Title: tbl.Title, Table: tbl,
 				Shape: "BER falls monotonically as rho grows: a stronger reflection buys feedback SNR (paid for in harvested energy, tab2)."}
 		},
@@ -109,18 +122,23 @@ func init() {
 			const txW, d = 0.1, 3.0
 			incident := txW * pl.Gain(d)
 			h := energy.Harvester{Efficiency: 0.3, SensitivityW: 1e-7}
+			cs := cfg.cells()
 			for _, rho := range []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9} {
-				// Feedback duty is ~50% (Manchester): average harvestable
-				// power = incident*(1 - rho/2).
-				_, harvestable := energy.SplitIncident(incident, rho/2)
-				out := h.OutputPower(harvestable)
-				ber, _ := feedbackChannelBER(d, rho, txW, 1e-9, 100, nBits, cfg.Seed+11)
-				outage := "no"
-				if out < 1e-6 {
-					outage = "yes"
-				}
-				tbl.AddRow(rho, incident*1e6, out*1e6, ber, outage)
+				seed := subSeed(cfg.Seed, "tab2", fbits(rho))
+				cs.add(func() row {
+					// Feedback duty is ~50% (Manchester): average harvestable
+					// power = incident*(1 - rho/2).
+					_, harvestable := energy.SplitIncident(incident, rho/2)
+					out := h.OutputPower(harvestable)
+					ber, _ := feedbackChannelBER(d, rho, txW, 1e-9, 100, nBits, seed)
+					outage := "no"
+					if out < 1e-6 {
+						outage = "yes"
+					}
+					return row{rho, incident * 1e6, out * 1e6, ber, outage}
+				})
 			}
+			cs.flushTo(tbl)
 			return &Result{ID: "tab2", Title: tbl.Title, Table: tbl,
 				Shape: "Harvested power falls linearly in rho while feedback BER improves: the operating point is a tag-side choice (the paper picks moderate rho)."}
 		},
@@ -133,12 +151,17 @@ func init() {
 			tbl := trace.NewTable("ablation: SI handling",
 				"mode", "leak_error_pct", "ber")
 			nBits := cfg.trials(10000)
+			cs := cfg.cells()
 			for _, mode := range []reader.SIMode{reader.SINormalize, reader.SISubtract} {
 				for _, errPct := range []float64{0, 5, 20} {
-					ber := siModeBER(mode, errPct/100, nBits, cfg.Seed+13)
-					tbl.AddRow(mode.String(), errPct, ber)
+					seed := subSeed(cfg.Seed, "abl-sinorm", uint64(mode), fbits(errPct))
+					cs.add(func() row {
+						ber := siModeBER(mode, errPct/100, nBits, seed)
+						return row{mode.String(), errPct, ber}
+					})
 				}
 			}
+			cs.flushTo(tbl)
 			return &Result{ID: "abl-sinorm", Title: tbl.Title, Table: tbl,
 				Shape: "Normalize needs no calibration and is flat; subtract pays a noncoherent-combining penalty even when perfectly calibrated and collapses once the leak estimate drifts a few percent."}
 		},
@@ -151,12 +174,17 @@ func init() {
 			tbl := trace.NewTable("ablation: feedback code",
 				"code", "noise_scale", "ber")
 			nBits := cfg.trials(10000)
+			cs := cfg.cells()
 			for _, code := range []feedback.Code{feedback.CodeManchester, feedback.CodeNRZ} {
 				for _, ns := range []float64{0.5, 1, 2} {
-					ber := fbCodeBER(code, ns*2e-6, nBits, cfg.Seed+17)
-					tbl.AddRow(code.String(), ns, ber)
+					seed := subSeed(cfg.Seed, "abl-fbcode", uint64(code), fbits(ns))
+					cs.add(func() row {
+						ber := fbCodeBER(code, ns*2e-6, nBits, seed)
+						return row{code.String(), ns, ber}
+					})
 				}
 			}
+			cs.flushTo(tbl)
 			return &Result{ID: "abl-fbcode", Title: tbl.Title, Table: tbl,
 				Shape: "Manchester is threshold-free and tracks noise gracefully; NRZ cannot set a threshold from a single-bit slot (no level reference) and fails outright — which is exactly why the design Manchester-codes the feedback."}
 		},
@@ -185,9 +213,12 @@ func siModeBER(mode reader.SIMode, leakErr float64, nBits int, seed uint64) floa
 	rd.Calibrate(rxCal, tx)
 	rx := sigproc.NewIQ(spb)
 	errs := 0
+	var bitBuf [1]byte
+	states := make([]byte, 0, spb)
 	for i := 0; i < nBits; i++ {
 		bit := src.Bit()
-		states := cfg.AppendStates(nil, []byte{bit})
+		bitBuf[0] = bit
+		states = cfg.AppendStates(states[:0], bitBuf[:])
 		for j := range rx {
 			v := complex(leakAmp, 0) * tx[j]
 			if states[j] == feedback.StateReflect {
@@ -219,9 +250,12 @@ func fbCodeBER(code feedback.Code, noiseW float64, nBits int, seed uint64) float
 	tx := sigproc.NewIQ(spb).Fill(complex(txAmp, 0))
 	rx := sigproc.NewIQ(spb)
 	errs := 0
+	var bitBuf [1]byte
+	states := make([]byte, 0, spb)
 	for i := 0; i < nBits; i++ {
 		bit := src.Bit()
-		states := cfg.AppendStates(nil, []byte{bit})
+		bitBuf[0] = bit
+		states = cfg.AppendStates(states[:0], bitBuf[:])
 		for j := range rx {
 			v := complex(leakAmp, 0) * tx[j]
 			if states[j] == feedback.StateReflect {

@@ -74,18 +74,26 @@ func init() {
 			tbl := trace.NewTable("fig3: forward impact of concurrent feedback",
 				"rho", "fwd_ber_feedback_on", "fwd_ber_feedback_off")
 			frames := cfg.trials(30)
+			cs := cfg.cells()
 			for _, rho := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
-				base := core.LinkConfig{
-					Modem: phy.OOK{SamplesPerChip: 4, Depth: 0.5},
-					// Push the tag towards its sensitivity so the rho
-					// penalty is visible.
-					DistanceM: 4, TagNoiseW: 4e-9, ChunkSize: 32,
-					Rho: rho, Seed: cfg.Seed + uint64(rho*100),
-				}
-				on := runLinkTrials(base, frames, 256, core.TransferOptions{PadChips: -1}, cfg.Seed+1)
-				off := runLinkTrials(base, frames, 256, core.TransferOptions{PadChips: -1, DisableFeedback: true}, cfg.Seed+1)
-				tbl.AddRow(rho, on.fwdBER(), off.fwdBER())
+				linkSeed := subSeed(cfg.Seed, "fig3-link", fbits(rho))
+				// Same payload stream for the on and off arms, so the
+				// comparison isolates the feedback reflection.
+				paySeed := subSeed(cfg.Seed, "fig3-payload", fbits(rho))
+				cs.add(func() row {
+					base := core.LinkConfig{
+						Modem: phy.OOK{SamplesPerChip: 4, Depth: 0.5},
+						// Push the tag towards its sensitivity so the rho
+						// penalty is visible.
+						DistanceM: 4, TagNoiseW: 4e-9, ChunkSize: 32,
+						Rho: rho, Seed: linkSeed,
+					}
+					on := runLinkTrials(base, frames, 256, core.TransferOptions{PadChips: -1}, paySeed)
+					off := runLinkTrials(base, frames, 256, core.TransferOptions{PadChips: -1, DisableFeedback: true}, paySeed)
+					return row{rho, on.fwdBER(), off.fwdBER()}
+				})
 			}
+			cs.flushTo(tbl)
 			return &Result{ID: "fig3", Title: tbl.Title, Table: tbl,
 				Shape: "The feedback-on curve tracks feedback-off closely at small rho and separates as rho grows: concurrent feedback is nearly free at practical reflection coefficients."}
 		},
@@ -98,16 +106,22 @@ func init() {
 			tbl := trace.NewTable("fig7: waveform link vs noise",
 				"tag_noise_dBm", "delivery_rate", "fwd_ber", "feedback_ber", "acquire_fail")
 			frames := cfg.trials(30)
+			cs := cfg.cells()
 			for _, noise := range []float64{1e-10, 1e-9, 1e-8, 1e-7, 4e-7, 1e-6} {
-				lcfg := core.LinkConfig{
-					Modem:     phy.OOK{SamplesPerChip: 4, Depth: 0.75},
-					DistanceM: 3, TagNoiseW: noise, ReaderNoiseW: noise,
-					ChunkSize: 32, Seed: cfg.Seed + 3,
-				}
-				st := runLinkTrials(lcfg, frames, 192, core.TransferOptions{PadChips: -1}, cfg.Seed+4)
-				tbl.AddRow(dbm(noise), float64(st.delivered)/float64(st.frames),
-					st.fwdBER(), st.fbBER(), st.acquireFails)
+				linkSeed := subSeed(cfg.Seed, "fig7-link", fbits(noise))
+				paySeed := subSeed(cfg.Seed, "fig7-payload", fbits(noise))
+				cs.add(func() row {
+					lcfg := core.LinkConfig{
+						Modem:     phy.OOK{SamplesPerChip: 4, Depth: 0.75},
+						DistanceM: 3, TagNoiseW: noise, ReaderNoiseW: noise,
+						ChunkSize: 32, Seed: linkSeed,
+					}
+					st := runLinkTrials(lcfg, frames, 192, core.TransferOptions{PadChips: -1}, paySeed)
+					return row{dbm(noise), float64(st.delivered) / float64(st.frames),
+						st.fwdBER(), st.fbBER(), st.acquireFails}
+				})
 			}
+			cs.flushTo(tbl)
 			return &Result{ID: "fig7", Title: tbl.Title, Table: tbl,
 				Shape: "Clean delivery at low noise; forward and feedback error rates rise together as noise approaches the received signal level, then acquisition itself fails."}
 		},

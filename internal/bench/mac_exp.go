@@ -15,16 +15,23 @@ func init() {
 				"loss", "stop_and_wait", "block_ack", "full_duplex", "fd_gain_vs_sw")
 			frames := cfg.trials(2000)
 			params := mac.Params{PayloadBytes: 1500, ChunkBytes: 64}
+			cs := cfg.cells()
 			for _, p := range []float64{0, 0.01, 0.05, 0.1, 0.2, 0.3, 0.4} {
-				sw := (&mac.StopAndWait{P: params}).Run(frames, mac.NewIIDLoss(p, simrand.New(cfg.Seed+1)))
-				ba := (&mac.BlockACK{P: params}).Run(frames, mac.NewIIDLoss(p, simrand.New(cfg.Seed+2)))
-				fd := (&mac.FullDuplex{P: params, Seed: cfg.Seed + 3}).Run(frames, mac.NewIIDLoss(p, simrand.New(cfg.Seed+3)))
-				gain := 0.0
-				if sw.Efficiency() > 0 {
-					gain = fd.Efficiency() / sw.Efficiency()
-				}
-				tbl.AddRow(p, sw.Efficiency(), ba.Efficiency(), fd.Efficiency(), gain)
+				swSeed := subSeed(cfg.Seed, "fig4-sw", fbits(p))
+				baSeed := subSeed(cfg.Seed, "fig4-ba", fbits(p))
+				fdSeed := subSeed(cfg.Seed, "fig4-fd", fbits(p))
+				cs.add(func() row {
+					sw := (&mac.StopAndWait{P: params}).Run(frames, mac.NewIIDLoss(p, simrand.New(swSeed)))
+					ba := (&mac.BlockACK{P: params}).Run(frames, mac.NewIIDLoss(p, simrand.New(baSeed)))
+					fd := (&mac.FullDuplex{P: params, Seed: fdSeed}).Run(frames, mac.NewIIDLoss(p, simrand.New(fdSeed)))
+					gain := 0.0
+					if sw.Efficiency() > 0 {
+						gain = fd.Efficiency() / sw.Efficiency()
+					}
+					return row{p, sw.Efficiency(), ba.Efficiency(), fd.Efficiency(), gain}
+				})
 			}
+			cs.flushTo(tbl)
 			return &Result{ID: "fig4", Title: tbl.Title, Table: tbl,
 				Shape: "All protocols tie near zero loss (FD slightly ahead: no ACK airtime); stop-and-wait collapses beyond ~10% chunk loss while full duplex degrades gracefully — the gain grows without bound with loss."}
 		},
@@ -40,16 +47,23 @@ func init() {
 			params := mac.Params{PayloadBytes: 1500, ChunkBytes: 64, AbortThreshold: 2, BackoffChunks: 24}
 			noAbort := params
 			noAbort.AbortThreshold = 1 << 30
+			cs := cfg.cells()
 			for _, start := range []float64{0.002, 0.005, 0.01, 0.02, 0.05} {
-				mk := func(seed uint64) mac.Loss {
-					return mac.NewBurstLoss(simrand.New(seed), start, 20, 1, 0.005)
-				}
-				duty := mac.NewBurstLoss(simrand.New(1), start, 20, 1, 0.005).DutyCycle()
-				sw := (&mac.StopAndWait{P: params}).Run(frames, mk(cfg.Seed+4))
-				fdN := (&mac.FullDuplex{P: noAbort, Seed: cfg.Seed + 5}).Run(frames, mk(cfg.Seed+5))
-				fdA := (&mac.FullDuplex{P: params, Seed: cfg.Seed + 6}).Run(frames, mk(cfg.Seed+6))
-				tbl.AddRow(duty, sw.WastedFraction(), fdN.WastedFraction(), fdA.WastedFraction())
+				swSeed := subSeed(cfg.Seed, "fig5-sw", fbits(start))
+				fdNSeed := subSeed(cfg.Seed, "fig5-fdn", fbits(start))
+				fdASeed := subSeed(cfg.Seed, "fig5-fda", fbits(start))
+				cs.add(func() row {
+					mk := func(seed uint64) mac.Loss {
+						return mac.NewBurstLoss(simrand.New(seed), start, 20, 1, 0.005)
+					}
+					duty := mac.NewBurstLoss(simrand.New(1), start, 20, 1, 0.005).DutyCycle()
+					sw := (&mac.StopAndWait{P: params}).Run(frames, mk(swSeed))
+					fdN := (&mac.FullDuplex{P: noAbort, Seed: fdNSeed}).Run(frames, mk(fdNSeed))
+					fdA := (&mac.FullDuplex{P: params, Seed: fdASeed}).Run(frames, mk(fdASeed))
+					return row{duty, sw.WastedFraction(), fdN.WastedFraction(), fdA.WastedFraction()}
+				})
 			}
+			cs.flushTo(tbl)
 			return &Result{ID: "fig5", Title: tbl.Title, Table: tbl,
 				Shape: "Waste rises with collision duty for everyone, but early termination bounds it: the FD-abort curve stays well below both the blind FD and the half-duplex baseline, because a doomed frame stops within ~2 chunks."}
 		},
@@ -62,17 +76,23 @@ func init() {
 			tbl := trace.NewTable("tab1: feedback delay (chunk-times)",
 				"chunk_bytes", "frame_chunks", "fd_delay", "sw_delay", "speedup")
 			frames := cfg.trials(500)
+			cs := cfg.cells()
 			for _, cb := range []int{32, 64, 128, 256} {
-				params := mac.Params{PayloadBytes: 1500, ChunkBytes: cb}
-				fd := (&mac.FullDuplex{P: params, Seed: cfg.Seed + 7}).Run(frames, mac.NewIIDLoss(0.05, simrand.New(cfg.Seed+7)))
-				sw := (&mac.StopAndWait{P: params}).Run(frames, mac.NewIIDLoss(0.05, simrand.New(cfg.Seed+8)))
-				sp := 0.0
-				if fd.MeanFeedbackDelayChunks() > 0 {
-					sp = sw.MeanFeedbackDelayChunks() / fd.MeanFeedbackDelayChunks()
-				}
-				tbl.AddRow(cb, params.NumChunks(), fd.MeanFeedbackDelayChunks(),
-					sw.MeanFeedbackDelayChunks(), sp)
+				fdSeed := subSeed(cfg.Seed, "tab1-fd", uint64(cb))
+				swSeed := subSeed(cfg.Seed, "tab1-sw", uint64(cb))
+				cs.add(func() row {
+					params := mac.Params{PayloadBytes: 1500, ChunkBytes: cb}
+					fd := (&mac.FullDuplex{P: params, Seed: fdSeed}).Run(frames, mac.NewIIDLoss(0.05, simrand.New(fdSeed)))
+					sw := (&mac.StopAndWait{P: params}).Run(frames, mac.NewIIDLoss(0.05, simrand.New(swSeed)))
+					sp := 0.0
+					if fd.MeanFeedbackDelayChunks() > 0 {
+						sp = sw.MeanFeedbackDelayChunks() / fd.MeanFeedbackDelayChunks()
+					}
+					return row{cb, params.NumChunks(), fd.MeanFeedbackDelayChunks(),
+						sw.MeanFeedbackDelayChunks(), sp}
+				})
 			}
+			cs.flushTo(tbl)
 			return &Result{ID: "tab1", Title: tbl.Title, Table: tbl,
 				Shape: "Full duplex learns each chunk's fate one chunk-time later regardless of frame size; half duplex waits the whole frame plus the ACK — the speedup equals the chunks-per-frame count."}
 		},
@@ -90,14 +110,20 @@ func init() {
 			chunkLoss := func(pByte float64, n int) float64 {
 				return 1 - pow(1-pByte, n)
 			}
+			cs := cfg.cells()
 			for _, cb := range []int{8, 16, 32, 64, 128, 256, 512} {
-				params := mac.Params{PayloadBytes: 1500, ChunkBytes: cb}
-				lo := (&mac.FullDuplex{P: params, Seed: cfg.Seed + 9}).Run(frames,
-					mac.NewIIDLoss(chunkLoss(2e-4, cb+1), simrand.New(cfg.Seed+9)))
-				hi := (&mac.FullDuplex{P: params, Seed: cfg.Seed + 10}).Run(frames,
-					mac.NewIIDLoss(chunkLoss(3e-3, cb+1), simrand.New(cfg.Seed+10)))
-				tbl.AddRow(cb, lo.Efficiency(), hi.Efficiency())
+				loSeed := subSeed(cfg.Seed, "abl-chunk-lo", uint64(cb))
+				hiSeed := subSeed(cfg.Seed, "abl-chunk-hi", uint64(cb))
+				cs.add(func() row {
+					params := mac.Params{PayloadBytes: 1500, ChunkBytes: cb}
+					lo := (&mac.FullDuplex{P: params, Seed: loSeed}).Run(frames,
+						mac.NewIIDLoss(chunkLoss(2e-4, cb+1), simrand.New(loSeed)))
+					hi := (&mac.FullDuplex{P: params, Seed: hiSeed}).Run(frames,
+						mac.NewIIDLoss(chunkLoss(3e-3, cb+1), simrand.New(hiSeed)))
+					return row{cb, lo.Efficiency(), hi.Efficiency()}
+				})
 			}
+			cs.flushTo(tbl)
 			return &Result{ID: "abl-chunk", Title: tbl.Title, Table: tbl,
 				Shape: "At low loss big chunks win (less CRC overhead); at high loss small chunks win (finer retransmit granularity) — the crossover motivates the default 32-64 B."}
 		},
@@ -110,14 +136,18 @@ func init() {
 			tbl := trace.NewTable("ablation: abort threshold",
 				"abort_after_nacks", "wasted_fraction", "throughput")
 			frames := cfg.trials(2000)
+			cs := cfg.cells()
 			for _, th := range []int{1, 2, 4, 8, 1 << 20} {
-				params := mac.Params{PayloadBytes: 1500, ChunkBytes: 64,
-					AbortThreshold: th, BackoffChunks: 24}
-				loss := mac.NewBurstLoss(simrand.New(cfg.Seed+11), 0.01, 20, 1, 0.01)
-				r := (&mac.FullDuplex{P: params, Seed: cfg.Seed + 11}).Run(frames, loss)
-				label := th
-				tbl.AddRow(label, r.WastedFraction(), r.Throughput())
+				seed := subSeed(cfg.Seed, "abl-threshold", uint64(th))
+				cs.add(func() row {
+					params := mac.Params{PayloadBytes: 1500, ChunkBytes: 64,
+						AbortThreshold: th, BackoffChunks: 24}
+					loss := mac.NewBurstLoss(simrand.New(seed), 0.01, 20, 1, 0.01)
+					r := (&mac.FullDuplex{P: params, Seed: seed}).Run(frames, loss)
+					return row{th, r.WastedFraction(), r.Throughput()}
+				})
 			}
+			cs.flushTo(tbl)
 			return &Result{ID: "abl-threshold", Title: tbl.Title, Table: tbl,
 				Shape: "Aborting after 1 NACK over-reacts to isolated losses; never aborting burns airtime through bursts; 2-4 consecutive NACKs is the sweet spot."}
 		},

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// Parallel execution must be invisible in the output: for every
+// registered experiment, a run with an 8-worker pool must reproduce the
+// serial run cell-for-cell at the same seed.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, e := range List() {
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			serial := e.Run(RunConfig{Seed: 42, Quick: true})
+			par := e.Run(RunConfig{Seed: 42, Quick: true, Workers: 8})
+			sr, pr := serial.Table.Rows(), par.Table.Rows()
+			if len(sr) != len(pr) {
+				t.Fatalf("row count differs: serial %d, parallel %d", len(sr), len(pr))
+			}
+			for i := range sr {
+				if len(sr[i]) != len(pr[i]) {
+					t.Fatalf("row %d width differs: serial %d, parallel %d", i, len(sr[i]), len(pr[i]))
+				}
+				for j := range sr[i] {
+					if sr[i][j] != pr[i][j] {
+						t.Fatalf("cell [%d][%d] differs: serial %q, parallel %q", i, j, sr[i][j], pr[i][j])
+					}
+				}
+			}
+			// The rendered bytes must match too (title, columns, layout).
+			var sb, pb strings.Builder
+			if err := serial.Table.WriteText(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if err := par.Table.WriteText(&pb); err != nil {
+				t.Fatal(err)
+			}
+			if sb.String() != pb.String() {
+				t.Fatal("rendered text differs between serial and parallel runs")
+			}
+		})
+	}
+}
+
+// A run must also reproduce itself: same seed, same worker count, same
+// bytes — and different worker counts must agree with each other.
+func TestWorkerCountInvariance(t *testing.T) {
+	e, err := ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) string {
+		var b strings.Builder
+		if err := e.Run(RunConfig{Seed: 9, Quick: true, Workers: workers}).Table.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	want := render(0)
+	for _, w := range []int{1, 2, 3, 16, 100} {
+		if got := render(w); got != want {
+			t.Fatalf("Workers=%d output differs from serial:\n%s\nvs\n%s", w, got, want)
+		}
+	}
+}
+
+// The pool must emit rows in submission order no matter which worker
+// finishes first.
+func TestCellSetPreservesOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		cs := &cellSet{workers: workers}
+		const n = 100
+		for i := 0; i < n; i++ {
+			cs.add(func() row { return row{i} })
+		}
+		tbl := trace.NewTable("order", "i")
+		cs.flushTo(tbl)
+		rows := tbl.Rows()
+		if len(rows) != n {
+			t.Fatalf("workers=%d: got %d rows", workers, len(rows))
+		}
+		for i, r := range rows {
+			want := trace.NewTable("", "i")
+			want.AddRow(i)
+			if r[0] != want.Rows()[0][0] {
+				t.Fatalf("workers=%d: row %d holds %q", workers, i, r[0])
+			}
+		}
+	}
+}
+
+// flushTo must leave the set reusable for a further batch.
+func TestCellSetReuse(t *testing.T) {
+	cs := &cellSet{workers: 4}
+	tbl := trace.NewTable("reuse", "v")
+	cs.add(func() row { return row{"a"} })
+	cs.flushTo(tbl)
+	cs.add(func() row { return row{"b"} })
+	cs.flushTo(tbl)
+	rows := tbl.Rows()
+	if len(rows) != 2 || rows[0][0] != "a" || rows[1][0] != "b" {
+		t.Fatalf("unexpected rows after reuse: %v", rows)
+	}
+}
+
+func TestSubSeed(t *testing.T) {
+	a := subSeed(1, "fig1", 10, fbits(0.5))
+	if a != subSeed(1, "fig1", 10, fbits(0.5)) {
+		t.Fatal("subSeed must be deterministic")
+	}
+	distinct := map[uint64]string{a: "base"}
+	for name, v := range map[string]uint64{
+		"other seed":  subSeed(2, "fig1", 10, fbits(0.5)),
+		"other id":    subSeed(1, "fig2", 10, fbits(0.5)),
+		"other part":  subSeed(1, "fig1", 11, fbits(0.5)),
+		"other float": subSeed(1, "fig1", 10, fbits(0.25)),
+		"fewer parts": subSeed(1, "fig1", 10),
+	} {
+		if prev, dup := distinct[v]; dup {
+			t.Fatalf("subSeed collision between %q and %q", name, prev)
+		}
+		distinct[v] = name
+	}
+}
+
+func TestAutoWorkers(t *testing.T) {
+	if AutoWorkers() < 1 {
+		t.Fatalf("AutoWorkers() = %d", AutoWorkers())
+	}
+}

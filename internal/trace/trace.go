@@ -161,6 +161,15 @@ func formatFloat(v float64) string {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Rows returns a copy of the formatted data rows, in insertion order.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
 // WriteText renders the table with aligned columns.
 func (t *Table) WriteText(w io.Writer) error {
 	widths := make([]int, len(t.Columns))

@@ -146,3 +146,18 @@ func TestTableSort(t *testing.T) {
 		t.Fatalf("numeric sort broken: %v", lines)
 	}
 }
+
+func TestTableRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(1, "x")
+	tb.AddRow(2.5, "y")
+	rows := tb.Rows()
+	if len(rows) != 2 || rows[0][0] != "1" || rows[1][1] != "y" {
+		t.Fatalf("Rows() unexpected: %v", rows)
+	}
+	// Mutating the copy must not touch the table.
+	rows[0][0] = "mutated"
+	if tb.Rows()[0][0] != "1" {
+		t.Fatal("Rows() must return a copy")
+	}
+}
