@@ -26,6 +26,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/mac"
+	"repro/internal/netsim"
 	"repro/internal/phy"
 	"repro/internal/rateadapt"
 	"repro/internal/simrand"
@@ -125,6 +126,35 @@ func RunAdaptationTrace(cfg AdaptConfig, policy string, nChunks int) AdaptResult
 	}
 	return rateadapt.RunTrace(cfg, a, nChunks)
 }
+
+// Network scenario types (the multi-tag scenario engine).
+type (
+	// Scenario declares a multi-tag deployment as data: topology,
+	// RF plant, traffic, MAC dimensions, and per-tag energy budget.
+	Scenario = netsim.Scenario
+	// NetResult aggregates one scenario run (per-tag outcomes plus
+	// cell-level delivery, throughput, collision and energy metrics).
+	NetResult = netsim.NetResult
+	// NetTagStats reports one tag's outcome inside a NetResult.
+	NetTagStats = netsim.TagStats
+)
+
+// RunScenario executes a multi-tag network scenario deterministically
+// under the given seed: same scenario + seed, same result.
+func RunScenario(sc Scenario, seed uint64) (*NetResult, error) {
+	return netsim.Run(sc, seed)
+}
+
+// ScenarioPreset returns a built-in scenario by name; ScenarioPresets
+// lists the available names.
+func ScenarioPreset(name string) (Scenario, error) { return netsim.Preset(name) }
+
+// ScenarioPresets lists the built-in scenario names.
+func ScenarioPresets() []string { return netsim.PresetNames() }
+
+// LoadScenario reads a scenario from a JSON file (unknown fields are
+// rejected).
+func LoadScenario(path string) (Scenario, error) { return netsim.LoadScenario(path) }
 
 // ExperimentInfo describes one reproducible figure/table.
 type ExperimentInfo struct {

@@ -88,9 +88,40 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 }
 
+func TestFacadeScenarios(t *testing.T) {
+	names := ScenarioPresets()
+	if len(names) < 3 {
+		t.Fatalf("only %d scenario presets", len(names))
+	}
+	sc, err := ScenarioPreset(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(sc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tags) == 0 || res.FramesOffered == 0 {
+		t.Fatalf("scenario run empty: %+v", res)
+	}
+	again, err := RunScenario(sc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != again.String() {
+		t.Fatal("scenario runs must be deterministic for the same seed")
+	}
+	if _, err := RunScenario(Scenario{Protocol: "bogus"}, 1); err == nil {
+		t.Fatal("invalid scenario must error")
+	}
+	if _, err := LoadScenario("no-such-file.json"); err == nil {
+		t.Fatal("missing scenario file must error")
+	}
+}
+
 // The parallel facade path must reproduce the serial one byte for byte.
 func TestFacadeParallelMatchesSerial(t *testing.T) {
-	for _, id := range []string{"fig1", "fig4", "tab1"} {
+	for _, id := range []string{"fig1", "fig4", "tab1", "scen-density"} {
 		var serial, parallel strings.Builder
 		if _, err := RunExperiment(id, 5, true, true, &serial); err != nil {
 			t.Fatal(err)

@@ -85,7 +85,7 @@ func ByID(id string) (Experiment, error) {
 }
 
 // List returns all experiments sorted by ID (figs first, then tabs,
-// then ablations).
+// then scenario sweeps, then ablations).
 func List() []Experiment {
 	out := make([]Experiment, 0, len(registry))
 	for _, e := range registry {
@@ -102,8 +102,10 @@ func idLess(a, b string) bool {
 			return 0
 		case len(s) >= 3 && s[:3] == "tab":
 			return 1
-		default:
+		case len(s) >= 4 && s[:4] == "scen":
 			return 2
+		default:
+			return 3
 		}
 	}
 	ra, rb := rank(a), rank(b)

@@ -7,7 +7,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"tab1", "tab2", "abl-sinorm", "abl-fbcode", "abl-chunk", "abl-threshold"}
+		"tab1", "tab2", "scen-density", "scen-range", "scen-energy",
+		"abl-sinorm", "abl-fbcode", "abl-chunk", "abl-threshold"}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
 			t.Fatalf("experiment %s missing: %v", id, err)
@@ -20,8 +21,14 @@ func TestRegistryComplete(t *testing.T) {
 
 func TestListOrdered(t *testing.T) {
 	l := List()
-	if len(l) < 13 {
+	if len(l) < 16 {
 		t.Fatalf("only %d experiments registered", len(l))
+	}
+	for i, e := range l {
+		if strings.HasPrefix(e.ID, "scen") && i+1 < len(l) &&
+			strings.HasPrefix(l[i+1].ID, "tab") {
+			t.Fatalf("scenario sweeps must sort after tabs, got %s before %s", e.ID, l[i+1].ID)
+		}
 	}
 	if !strings.HasPrefix(l[0].ID, "fig") {
 		t.Fatalf("figs must sort first, got %s", l[0].ID)

@@ -246,3 +246,26 @@ func TestDeterministicRuns(t *testing.T) {
 		t.Fatalf("same seeds diverged:\n%+v\n%+v", a, b)
 	}
 }
+
+func TestParamsAirtimeHelpers(t *testing.T) {
+	// Defaults: 1500 B payload, 64 B chunks (+1 CRC), 12 B header.
+	var p Params
+	if got := p.ChunkAirBytes(); got != 65 {
+		t.Fatalf("ChunkAirBytes = %d, want 65", got)
+	}
+	if got := p.HeaderAirBytes(); got != 12 {
+		t.Fatalf("HeaderAirBytes = %d, want 12", got)
+	}
+	if got, want := p.FrameAirBytes(), 12+24*65; got != want {
+		t.Fatalf("FrameAirBytes = %d, want %d", got, want)
+	}
+	// Explicit dimensions pass through.
+	q := Params{PayloadBytes: 100, ChunkBytes: 50, HeaderBytes: 8}
+	if got, want := q.FrameAirBytes(), 8+2*51; got != want {
+		t.Fatalf("FrameAirBytes = %d, want %d", got, want)
+	}
+	// The helpers must not mutate the receiver (value semantics).
+	if q.PayloadBytes != 100 || q.MaxAttempts != 0 {
+		t.Fatalf("helper mutated params: %+v", q)
+	}
+}

@@ -63,6 +63,28 @@ func (p Params) NumChunks() int {
 // chunkAir returns the airtime bytes of one chunk (payload + CRC).
 func (p Params) chunkAir() int { return p.ChunkBytes + 1 }
 
+// ChunkAirBytes returns the airtime bytes of one chunk (payload + CRC),
+// after defaults.
+func (p Params) ChunkAirBytes() int {
+	p.applyDefaults()
+	return p.chunkAir()
+}
+
+// HeaderAirBytes returns the per-frame-attempt header overhead, after
+// defaults.
+func (p Params) HeaderAirBytes() int {
+	p.applyDefaults()
+	return p.HeaderBytes
+}
+
+// FrameAirBytes returns the airtime of one whole-frame attempt (header
+// plus every chunk), after defaults — the cost a half-duplex protocol
+// burns when a collision goes undetected until the missing ACK.
+func (p Params) FrameAirBytes() int {
+	p.applyDefaults()
+	return p.HeaderBytes + p.NumChunks()*p.chunkAir()
+}
+
 // Result accumulates protocol statistics over a run.
 type Result struct {
 	Protocol        string

@@ -1,0 +1,422 @@
+// Package netsim is the multi-tag network scenario engine: it composes
+// the point-to-point layers (channel path loss, packet-level MAC
+// protocols, the feedback channel's BER model, the rate table's loss
+// cliff, and the tag energy budget) into configurable deployments of N
+// tags contending under one reader.
+//
+// A deployment is declared as data (Scenario, loadable from JSON or a
+// built-in preset) and executed by Run: tags are placed by a named
+// topology, each tag's forward chunk-loss probability and feedback BER
+// derive from its geometry exactly the way the calibrated link
+// experiments derive theirs, and medium access is framed slotted ALOHA
+// — each inventory round opens a contention window, singleton slots
+// carry one frame through the configured MAC protocol, collision slots
+// burn airtime that depends on whether the protocol can detect the
+// collision early (the paper's full-duplex advantage at network scale).
+//
+// Determinism: a run is a pure function of (Scenario, seed). All
+// randomness flows from one simrand tree split in a fixed order, the
+// engine is single-goroutine, and tags are iterated by index — so runs
+// embed directly as cells in the bench worker pool with byte-identical
+// output at any worker count.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/channel"
+	"repro/internal/energy"
+	"repro/internal/feedback"
+	"repro/internal/mac"
+	"repro/internal/rateadapt"
+	"repro/internal/simrand"
+)
+
+// tagNode is the engine's per-tag state.
+type tagNode struct {
+	incidentW float64 // carrier power at the tag antenna (constant per run)
+	params    mac.Params
+	queue     int // frames awaiting delivery
+	budget    energy.Budget
+	loss      mac.Loss
+	protoSrc  *simrand.Source // fresh protocol seed per transmission
+	stats     TagStats
+	alive     bool
+	dieTime   float64 // seconds at death, for lifetime stats
+	// Per-round accumulators for energy accounting.
+	txCount int     // frames transmitted this round
+	txDt    float64 // seconds spent transmitting this round
+}
+
+// newProto builds the scenario's MAC protocol instance for one frame
+// transmission. Full duplex draws a fresh seed per transmission so
+// feedback-decoding randomness is independent across frames (the
+// protocol reseeds its internal source on every Run call).
+func (n *tagNode) newProto(protocol string) mac.Protocol {
+	switch protocol {
+	case "stop-and-wait":
+		return &mac.StopAndWait{P: n.params}
+	case "block-ack":
+		return &mac.BlockACK{P: n.params}
+	default:
+		return &mac.FullDuplex{P: n.params, Seed: n.protoSrc.Uint64()}
+	}
+}
+
+// TagStats reports one tag's outcome.
+type TagStats struct {
+	// ID indexes the tag in placement order.
+	ID int
+	// X, Y, DistanceM locate the tag (reader at origin).
+	X, Y, DistanceM float64
+	// SNRdB is the forward-link SNR at the tag.
+	SNRdB float64
+	// ChunkLossProb and FeedbackBER are the geometry-derived link
+	// qualities the MAC saw.
+	ChunkLossProb, FeedbackBER float64
+	// FramesOffered counts frames entering the queue; FramesDelivered
+	// the ones the MAC carried; FramesDropped the open-loop arrivals
+	// lost to a full queue.
+	FramesOffered, FramesDelivered, FramesDropped int
+	// Collisions counts contention slots this tag lost to a collision.
+	Collisions int
+	// AirtimeBytes is the tag's share of transmitted airtime.
+	AirtimeBytes int64
+	// OutageFraction is the fraction of simulated time spent browned
+	// out; Alive is the final state; LifetimeS is the time of death
+	// (total simulated time when the tag survived).
+	OutageFraction float64
+	Alive          bool
+	LifetimeS      float64
+}
+
+// NetResult aggregates one scenario run.
+type NetResult struct {
+	// Scenario echoes the (defaulted) scenario that ran.
+	Scenario Scenario
+	// Seed echoes the run seed.
+	Seed uint64
+	// Tags holds per-tag outcomes in placement order.
+	Tags []TagStats
+	// Rounds actually executed.
+	Rounds int
+	// FramesOffered / FramesDelivered / FramesDropped sum over tags.
+	FramesOffered, FramesDelivered, FramesDropped int64
+	// GoodputBytes is payload delivered across the cell.
+	GoodputBytes int64
+	// ElapsedBytes is the shared-medium clock: every slot, frame, and
+	// backoff advances it (bytes on air at the base rate).
+	ElapsedBytes int64
+	// IdleSlots / SingletonSlots / CollisionSlots classify contention
+	// slots.
+	IdleSlots, SingletonSlots, CollisionSlots int64
+	// CollisionBytes is airtime burned by collisions.
+	CollisionBytes int64
+	// SimulatedS is ElapsedBytes converted to seconds at the bit rate.
+	SimulatedS float64
+}
+
+// DeliveryRate returns delivered frames over offered frames.
+func (r *NetResult) DeliveryRate() float64 {
+	if r.FramesOffered == 0 {
+		return 0
+	}
+	return float64(r.FramesDelivered) / float64(r.FramesOffered)
+}
+
+// Throughput returns goodput bytes per elapsed byte-time on the shared
+// medium — the cell's aggregate efficiency.
+func (r *NetResult) Throughput() float64 {
+	if r.ElapsedBytes == 0 {
+		return 0
+	}
+	return float64(r.GoodputBytes) / float64(r.ElapsedBytes)
+}
+
+// CollisionFraction returns collision slots over non-idle slots.
+func (r *NetResult) CollisionFraction() float64 {
+	busy := r.SingletonSlots + r.CollisionSlots
+	if busy == 0 {
+		return 0
+	}
+	return float64(r.CollisionSlots) / float64(busy)
+}
+
+// AliveFraction returns the fraction of tags above brown-out at the end.
+func (r *NetResult) AliveFraction() float64 {
+	if len(r.Tags) == 0 {
+		return 0
+	}
+	alive := 0
+	for _, t := range r.Tags {
+		if t.Alive {
+			alive++
+		}
+	}
+	return float64(alive) / float64(len(r.Tags))
+}
+
+// MeanLifetimeS returns the mean per-tag lifetime in seconds (survivors
+// count the full simulated time).
+func (r *NetResult) MeanLifetimeS() float64 {
+	if len(r.Tags) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range r.Tags {
+		sum += t.LifetimeS
+	}
+	return sum / float64(len(r.Tags))
+}
+
+// MeanSNRdB returns the population mean forward SNR.
+func (r *NetResult) MeanSNRdB() float64 {
+	if len(r.Tags) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range r.Tags {
+		sum += t.SNRdB
+	}
+	return sum / float64(len(r.Tags))
+}
+
+// FairnessIndex returns Jain's fairness index over per-tag delivered
+// frames: 1 when every tag got equal service, 1/N when one tag took
+// everything.
+func (r *NetResult) FairnessIndex() float64 {
+	var sum, sumSq float64
+	for _, t := range r.Tags {
+		x := float64(t.FramesDelivered)
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	n := float64(len(r.Tags))
+	return sum * sum / (n * sumSq)
+}
+
+// Run executes the scenario deterministically under the given seed.
+func Run(sc Scenario, seed uint64) (*NetResult, error) {
+	sc.ApplyDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	root := simrand.New(seed)
+	placeSrc := root.Split()
+	trafficSrc := root.Split()
+	slotSrc := root.Split()
+
+	positions, err := PlaceTags(sc.Topology, sc.Tags, sc.RadiusM, sc.Clusters, sc.ClusterSpreadM, placeSrc)
+	if err != nil {
+		return nil, err
+	}
+
+	pl := channel.NewLogDistance(sc.FreqHz, sc.PathLossExp)
+	params := mac.Params{
+		PayloadBytes:   sc.PayloadBytes,
+		ChunkBytes:     sc.ChunkBytes,
+		AbortThreshold: sc.AbortThreshold,
+		BackoffChunks:  sc.BackoffChunks,
+		MaxAttempts:    sc.MaxAttempts,
+	}
+	rate := rateadapt.RateSpec{Name: "1x", Mult: 1, ReqSNRdB: sc.ReqSNRdB}
+	chunkAir := int64(params.ChunkAirBytes())
+	// A whole-frame attempt on air, for collision cost accounting.
+	frameAir := int64(params.FrameAirBytes())
+
+	tags := make([]*tagNode, sc.Tags)
+	for i, pos := range positions {
+		d := pos.Distance()
+		g := pl.Gain(d)
+		// Forward link: SNR at the tag sets the chunk-loss cliff exactly
+		// as the rate-adaptation channel model does.
+		snrDB := 10 * math.Log10(sc.TxPowerW*g/sc.NoiseW)
+		lossP := rateadapt.ChunkLossProb(rate, snrDB)
+		// Reverse link: the backscattered feedback rides a round-trip
+		// channel; its BER follows the Manchester decoder prediction with
+		// the same calibration as the waveform feedback experiments
+		// (normalised separation g*sqrt(rho), noise referred to the
+		// transmit envelope).
+		delta := g * math.Sqrt(sc.Rho)
+		sigma := math.Sqrt(sc.NoiseW/2) / math.Sqrt(sc.TxPowerW)
+		fbBER := feedback.ManchesterBER(delta, sigma, sc.FeedbackSamplesPerBit)
+
+		p := params
+		p.FeedbackBER = fbBER
+		tagSrc := root.Split()
+		n := &tagNode{
+			incidentW: sc.TxPowerW * g, params: p, alive: true,
+			budget: energy.Budget{
+				Harvester: energy.Harvester{Efficiency: sc.HarvesterEff, SensitivityW: sc.HarvesterFloorW},
+				Cap:       energy.Capacitor{CapacitanceF: sc.CapacitanceF},
+				CircuitW:  sc.IdleCircuitW,
+			},
+			stats: TagStats{
+				ID: i, X: pos.X, Y: pos.Y, DistanceM: d, SNRdB: snrDB,
+				ChunkLossProb: lossP, FeedbackBER: fbBER,
+			},
+		}
+		n.budget.Cap.SetVoltage(sc.StartVoltageV)
+		n.loss = mac.NewIIDLoss(lossP, tagSrc)
+		n.protoSrc = tagSrc.Split()
+		if sc.OfferedLoad == 0 {
+			n.queue = sc.FramesPerTag
+			n.stats.FramesOffered = sc.FramesPerTag
+		}
+		tags[i] = n
+	}
+
+	res := &NetResult{Scenario: sc, Seed: seed}
+	// Collision cost: a full-duplex reader sees the feedback margin
+	// collapse and aborts within AbortThreshold chunks; a half-duplex
+	// protocol only learns at the missing end-of-frame ACK, so the whole
+	// attempt is burned.
+	collisionCost := frameAir
+	if sc.Protocol == "full-duplex" {
+		collisionCost = int64(params.HeaderAirBytes()) + int64(sc.AbortThreshold)*chunkAir
+		// Detection can never cost more than the frame it interrupts.
+		if collisionCost > frameAir {
+			collisionCost = frameAir
+		}
+	}
+
+	secondsPerByte := 8 / sc.BitRateBps
+	slotChoices := make([]int, sc.Tags)
+	slotWinner := make([]int, sc.ContentionWindow)
+	slotCount := make([]int, sc.ContentionWindow)
+
+	for round := 0; round < sc.MaxRounds; round++ {
+		res.Rounds = round + 1
+		// Open-loop arrivals.
+		if sc.OfferedLoad > 0 {
+			for _, n := range tags {
+				k := trafficSrc.Poisson(sc.OfferedLoad)
+				n.stats.FramesOffered += k
+				free := sc.QueueCap - n.queue
+				if k > free {
+					n.stats.FramesDropped += k - free
+					k = free
+				}
+				n.queue += k
+			}
+		}
+
+		// Contention: every alive tag with traffic picks a slot.
+		for i := range slotWinner {
+			slotWinner[i] = -1
+			slotCount[i] = 0
+		}
+		contenders := 0
+		for i, n := range tags {
+			slotChoices[i] = -1
+			if !n.alive || n.queue == 0 {
+				continue
+			}
+			s := slotSrc.IntN(sc.ContentionWindow)
+			slotChoices[i] = s
+			slotCount[s]++
+			slotWinner[s] = i
+			contenders++
+		}
+		if contenders == 0 && sc.OfferedLoad == 0 {
+			break // closed-loop run drained every queue
+		}
+
+		var roundBytes int64
+		for s := 0; s < sc.ContentionWindow; s++ {
+			switch {
+			case slotCount[s] == 0:
+				res.IdleSlots++
+				roundBytes += chunkAir // empty slots are short: one chunk-time
+			case slotCount[s] == 1:
+				res.SingletonSlots++
+				n := tags[slotWinner[s]]
+				mr := n.newProto(sc.Protocol).Run(1, n.loss)
+				n.queue--
+				n.stats.AirtimeBytes += mr.AirtimeBytes
+				roundBytes += mr.ElapsedBytes
+				if mr.FramesDelivered == 1 {
+					n.stats.FramesDelivered++
+					res.GoodputBytes += mr.GoodputBytes
+				} else {
+					// Undelivered after MaxAttempts: re-queue for a later
+					// round (unless the open-loop queue refilled).
+					if n.queue < sc.QueueCap {
+						n.queue++
+					} else {
+						n.stats.FramesDropped++
+					}
+				}
+				// Energy is settled once at round end; record how long
+				// this tag spent transmitting so its harvest and draw can
+				// be adjusted there.
+				n.txCount++
+				n.txDt += float64(mr.ElapsedBytes) * secondsPerByte
+			default:
+				res.CollisionSlots++
+				res.CollisionBytes += collisionCost
+				roundBytes += collisionCost
+				for i, n := range tags {
+					if slotChoices[i] == s {
+						n.stats.Collisions++
+					}
+				}
+			}
+		}
+
+		// Settle every tag's energy budget over the round in one step:
+		// the idle draw plus, for transmitters, the per-frame transmit
+		// energy spread over the round, harvesting the carrier reduced
+		// by the rho/2 Manchester-duty reflection loss during their
+		// transmit time.
+		res.ElapsedBytes += roundBytes
+		dt := float64(roundBytes) * secondsPerByte
+		now := float64(res.ElapsedBytes) * secondsPerByte
+		for _, n := range tags {
+			harvestW := n.incidentW
+			circuitW := sc.IdleCircuitW
+			if dt > 0 {
+				if n.txDt > 0 {
+					_, during := energy.SplitIncident(n.incidentW, sc.Rho/2)
+					harvestW -= (n.incidentW - during) * (n.txDt / dt)
+				}
+				circuitW += float64(n.txCount) * sc.TxEnergyJ / dt
+			}
+			n.budget.CircuitW = circuitW
+			ok := n.budget.Step(harvestW, dt)
+			n.budget.CircuitW = sc.IdleCircuitW
+			if !ok && n.alive {
+				n.alive = false
+				n.dieTime = now
+			}
+			n.txCount, n.txDt = 0, 0
+		}
+	}
+
+	res.SimulatedS = float64(res.ElapsedBytes) * secondsPerByte
+	for _, n := range tags {
+		n.stats.OutageFraction = n.budget.OutageFraction()
+		n.stats.Alive = n.alive
+		if n.alive {
+			n.stats.LifetimeS = res.SimulatedS
+		} else {
+			n.stats.LifetimeS = n.dieTime
+		}
+		res.FramesOffered += int64(n.stats.FramesOffered)
+		res.FramesDelivered += int64(n.stats.FramesDelivered)
+		res.FramesDropped += int64(n.stats.FramesDropped)
+		res.Tags = append(res.Tags, n.stats)
+	}
+	return res, nil
+}
+
+// String summarises a run for logs.
+func (r *NetResult) String() string {
+	return fmt.Sprintf("%s: %d tags, %d rounds, delivered %d/%d, thrpt=%.3f, coll=%.3f, alive=%.2f",
+		r.Scenario.Name, len(r.Tags), r.Rounds, r.FramesDelivered, r.FramesOffered,
+		r.Throughput(), r.CollisionFraction(), r.AliveFraction())
+}

@@ -1,0 +1,296 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Scenario declares one multi-tag deployment as data: geometry, RF
+// parameters, traffic, MAC dimensions, and the per-tag energy budget.
+// Zero fields take defaults (see ApplyDefaults), so a JSON file only
+// needs the knobs it cares about. The run seed is NOT part of the
+// scenario — it is supplied per run, so one scenario replays under many
+// seeds.
+type Scenario struct {
+	// Name labels the scenario in tables and logs.
+	Name string `json:"name"`
+
+	// Deployment geometry.
+
+	// Tags is the tag population size (default 8).
+	Tags int `json:"tags"`
+	// Topology is one of TopologyGrid, TopologyUniformDisc,
+	// TopologyClustered (default grid).
+	Topology string `json:"topology"`
+	// RadiusM is the deployment radius/half-extent in metres (default 4).
+	RadiusM float64 `json:"radius_m"`
+	// Clusters is the cluster count for the clustered topology
+	// (default 3).
+	Clusters int `json:"clusters"`
+	// ClusterSpreadM is the Gaussian spread around each cluster centre
+	// (default RadiusM/8).
+	ClusterSpreadM float64 `json:"cluster_spread_m"`
+
+	// RF plant.
+
+	// FreqHz is the carrier frequency (default 915 MHz).
+	FreqHz float64 `json:"freq_hz"`
+	// PathLossExp is the log-distance path loss exponent (default 2.5,
+	// matching the calibrated link experiments).
+	PathLossExp float64 `json:"path_loss_exp"`
+	// TxPowerW is the reader transmit power (default 0.1 W = 20 dBm).
+	TxPowerW float64 `json:"tx_power_w"`
+	// NoiseW is the receiver noise power (default 1e-9 W).
+	NoiseW float64 `json:"noise_w"`
+	// Rho is the tag reflection coefficient (default 0.3).
+	Rho float64 `json:"rho"`
+	// ReqSNRdB is the forward SNR at which chunk loss is 50% (logistic
+	// cliff, default 10 dB — the 1x rate of the adaptation rate table).
+	ReqSNRdB float64 `json:"req_snr_db"`
+	// FeedbackSamplesPerBit sizes the feedback averaging window used to
+	// derive each tag's feedback BER from its geometry (default 100).
+	FeedbackSamplesPerBit int `json:"feedback_samples_per_bit"`
+
+	// Traffic and contention.
+
+	// FramesPerTag preloads each tag's queue (default 4) when
+	// OfferedLoad is zero.
+	FramesPerTag int `json:"frames_per_tag"`
+	// OfferedLoad, when positive, switches to open-loop traffic: mean
+	// new frames per tag per round (Poisson arrivals).
+	OfferedLoad float64 `json:"offered_load"`
+	// MaxRounds bounds the simulation (default 64).
+	MaxRounds int `json:"max_rounds"`
+	// ContentionWindow is the slot count of each inventory round
+	// (default 2 * Tags, the framed-slotted-ALOHA optimum scale).
+	ContentionWindow int `json:"contention_window"`
+	// QueueCap bounds each tag's frame queue under open-loop traffic
+	// (default 16); arrivals beyond it are dropped and counted.
+	QueueCap int `json:"queue_cap"`
+
+	// MAC dimensions (shared by every tag).
+
+	// Protocol is "full-duplex" (default), "stop-and-wait" or
+	// "block-ack".
+	Protocol string `json:"protocol"`
+	// PayloadBytes per frame (default 256).
+	PayloadBytes int `json:"payload_bytes"`
+	// ChunkBytes per chunk (default 32).
+	ChunkBytes int `json:"chunk_bytes"`
+	// AbortThreshold is the consecutive-NACK early-termination trigger
+	// (default 2).
+	AbortThreshold int `json:"abort_threshold"`
+	// BackoffChunks after an early abort (default 8).
+	BackoffChunks int `json:"backoff_chunks"`
+	// MaxAttempts bounds retransmission rounds per frame (default 8 —
+	// tighter than the point-to-point default because a congested cell
+	// re-queues instead of retrying forever).
+	MaxAttempts int `json:"max_attempts"`
+
+	// Energy budget (per tag).
+
+	// HarvesterEff is the RF-to-DC efficiency (default 0.3).
+	HarvesterEff float64 `json:"harvester_eff"`
+	// HarvesterFloorW is the rectifier sensitivity (default 0.1 µW).
+	HarvesterFloorW float64 `json:"harvester_floor_w"`
+	// CapacitanceF is the storage capacitor (default 4.7 µF — a small
+	// tag-scale store, so lifetime genuinely depends on load).
+	CapacitanceF float64 `json:"capacitance_f"`
+	// IdleCircuitW is the consumption while listening (default 0.2 µW).
+	IdleCircuitW float64 `json:"idle_circuit_w"`
+	// TxEnergyJ is the extra energy one frame transmission costs the tag
+	// (logic + modulator switching; default 0.5 µJ) — the draw that
+	// makes lifetime depend on offered load.
+	TxEnergyJ float64 `json:"tx_energy_j"`
+	// BitRateBps converts airtime bytes to seconds for energy accounting
+	// (default 1 Mbps).
+	BitRateBps float64 `json:"bit_rate_bps"`
+	// StartVoltageV initialises each tag's capacitor (default 2.4 V:
+	// charged, but with finite headroom above the 1.8 V brown-out).
+	StartVoltageV float64 `json:"start_voltage_v"`
+}
+
+// ApplyDefaults fills zero fields in place with the documented defaults.
+func (s *Scenario) ApplyDefaults() {
+	if s.Name == "" {
+		s.Name = "scenario"
+	}
+	if s.Tags <= 0 {
+		s.Tags = 8
+	}
+	if s.Topology == "" {
+		s.Topology = TopologyGrid
+	}
+	if s.RadiusM <= 0 {
+		s.RadiusM = 4
+	}
+	if s.Clusters <= 0 {
+		s.Clusters = 3
+	}
+	if s.ClusterSpreadM <= 0 {
+		s.ClusterSpreadM = s.RadiusM / 8
+	}
+	if s.FreqHz <= 0 {
+		s.FreqHz = 915e6
+	}
+	if s.PathLossExp <= 0 {
+		s.PathLossExp = 2.5
+	}
+	if s.TxPowerW <= 0 {
+		s.TxPowerW = 0.1
+	}
+	if s.NoiseW <= 0 {
+		s.NoiseW = 1e-9
+	}
+	if s.Rho <= 0 {
+		s.Rho = 0.3
+	}
+	if s.ReqSNRdB == 0 {
+		s.ReqSNRdB = 10
+	}
+	if s.FeedbackSamplesPerBit <= 0 {
+		s.FeedbackSamplesPerBit = 100
+	}
+	if s.FramesPerTag <= 0 {
+		s.FramesPerTag = 4
+	}
+	if s.MaxRounds <= 0 {
+		s.MaxRounds = 64
+	}
+	if s.ContentionWindow <= 0 {
+		s.ContentionWindow = 2 * s.Tags
+	}
+	if s.QueueCap <= 0 {
+		s.QueueCap = 16
+	}
+	if s.Protocol == "" {
+		s.Protocol = "full-duplex"
+	}
+	if s.PayloadBytes <= 0 {
+		s.PayloadBytes = 256
+	}
+	if s.ChunkBytes <= 0 {
+		s.ChunkBytes = 32
+	}
+	if s.AbortThreshold == 0 {
+		s.AbortThreshold = 2
+	}
+	if s.BackoffChunks <= 0 {
+		s.BackoffChunks = 8
+	}
+	if s.MaxAttempts <= 0 {
+		s.MaxAttempts = 8
+	}
+	if s.HarvesterEff <= 0 {
+		s.HarvesterEff = 0.3
+	}
+	if s.HarvesterFloorW <= 0 {
+		s.HarvesterFloorW = 1e-7
+	}
+	if s.CapacitanceF <= 0 {
+		s.CapacitanceF = 4.7e-6
+	}
+	if s.IdleCircuitW <= 0 {
+		s.IdleCircuitW = 2e-7
+	}
+	if s.TxEnergyJ <= 0 {
+		s.TxEnergyJ = 5e-7
+	}
+	if s.BitRateBps <= 0 {
+		s.BitRateBps = 1e6
+	}
+	if s.StartVoltageV <= 0 {
+		s.StartVoltageV = 2.4
+	}
+}
+
+// Validate checks a scenario after defaults; it reports the first
+// problem found.
+func (s Scenario) Validate() error {
+	switch s.Topology {
+	case TopologyGrid, TopologyUniformDisc, TopologyClustered:
+	default:
+		return fmt.Errorf("netsim: unknown topology %q", s.Topology)
+	}
+	switch s.Protocol {
+	case "full-duplex", "stop-and-wait", "block-ack":
+	default:
+		return fmt.Errorf("netsim: unknown protocol %q (want full-duplex, stop-and-wait or block-ack)", s.Protocol)
+	}
+	if s.Rho < 0 || s.Rho > 1 {
+		return fmt.Errorf("netsim: rho %g outside [0, 1]", s.Rho)
+	}
+	if s.Tags > 1<<16 {
+		return fmt.Errorf("netsim: tag count %d unreasonably large", s.Tags)
+	}
+	if s.OfferedLoad < 0 {
+		return fmt.Errorf("netsim: offered load %g must be non-negative", s.OfferedLoad)
+	}
+	if s.AbortThreshold < 0 {
+		return fmt.Errorf("netsim: abort threshold %d must be non-negative", s.AbortThreshold)
+	}
+	return nil
+}
+
+// presets are the built-in named scenarios. Keep in sync with the README
+// scenario-engine section.
+var presets = map[string]Scenario{
+	"lab-bench": {
+		Name: "lab-bench", Tags: 4, Topology: TopologyGrid, RadiusM: 2,
+	},
+	"warehouse": {
+		Name: "warehouse", Tags: 32, Topology: TopologyClustered, RadiusM: 8,
+		Clusters: 4, FramesPerTag: 8,
+	},
+	"retail-shelf": {
+		Name: "retail-shelf", Tags: 16, Topology: TopologyGrid, RadiusM: 3,
+		OfferedLoad: 0.5, MaxRounds: 96,
+	},
+	"sparse-field": {
+		Name: "sparse-field", Tags: 12, Topology: TopologyUniformDisc, RadiusM: 12,
+		TxPowerW: 0.5, FramesPerTag: 2, MaxRounds: 128,
+	},
+}
+
+// Preset returns a copy of the named built-in scenario.
+func Preset(name string) (Scenario, error) {
+	s, ok := presets[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("netsim: unknown preset %q (have %v)", name, PresetNames())
+	}
+	return s, nil
+}
+
+// PresetNames lists the built-in scenarios, sorted.
+func PresetNames() []string {
+	out := make([]string, 0, len(presets))
+	for n := range presets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseScenario decodes a scenario from JSON, rejecting unknown fields
+// so typos in config files fail loudly.
+func ParseScenario(data []byte) (Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("netsim: bad scenario JSON: %w", err)
+	}
+	return s, nil
+}
+
+// LoadScenario reads a scenario JSON file.
+func LoadScenario(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("netsim: %w", err)
+	}
+	return ParseScenario(data)
+}

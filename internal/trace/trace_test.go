@@ -119,6 +119,110 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+func TestTableCSVEmpty(t *testing.T) {
+	// No rows: the CSV is just the header line.
+	tb := NewTable("empty", "x", "y")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "x,y\n" {
+		t.Fatalf("empty table CSV = %q", sb.String())
+	}
+	// No rows and no columns: a single empty record terminator.
+	none := NewTable("")
+	sb.Reset()
+	if err := none.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "\n" {
+		t.Fatalf("columnless table CSV = %q", sb.String())
+	}
+	if none.NumRows() != 0 || len(none.Rows()) != 0 {
+		t.Fatal("empty table must report zero rows")
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := NewTable("", "cell", "note")
+	tb.AddRow(`plain`, `with,comma`)
+	tb.AddRow(`has "quotes"`, "line\nbreak")
+	tb.AddRow(`,"both",`, `clean`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`plain,"with,comma"`,
+		`"has ""quotes""","line` + "\n" + `break"`,
+		`",""both"","` + `,clean`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+	// A quoted header cell must be escaped the same way.
+	hdr := NewTable("", `a,b`, "c")
+	sb.Reset()
+	if err := hdr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), `"a,b",c`+"\n") {
+		t.Fatalf("header quoting broken: %q", sb.String())
+	}
+}
+
+// Rows must round-trip through AddRow formatting into the exact cells
+// WriteCSV emits for unquoted values, and reflect insertion order.
+func TestTableRowsRoundTrip(t *testing.T) {
+	tb := NewTable("rt", "k", "v")
+	tb.AddRow(3, 0.5)
+	tb.AddRow(1, "s")
+	tb.AddRow(2, 1e-9)
+	rows := tb.Rows()
+	if len(rows) != tb.NumRows() {
+		t.Fatalf("Rows() length %d != NumRows %d", len(rows), tb.NumRows())
+	}
+	rebuilt := NewTable("rt", "k", "v")
+	for _, r := range rows {
+		cells := make([]interface{}, len(r))
+		for i, c := range r {
+			cells[i] = c
+		}
+		rebuilt.AddRow(cells...)
+	}
+	var a, b strings.Builder
+	if err := tb.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("Rows() round-trip diverged:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if got := [3]string{rows[0][0], rows[1][0], rows[2][0]}; got != [3]string{"3", "1", "2"} {
+		t.Fatalf("Rows() must preserve insertion order, got %v", got)
+	}
+}
+
+func TestTableRaggedRow(t *testing.T) {
+	// A row narrower than the header must still render in both formats.
+	tb := NewTable("ragged", "a", "b", "c")
+	tb.AddRow("only")
+	var txt, csv strings.Builder
+	if err := tb.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "only") || !strings.Contains(csv.String(), "only\n") {
+		t.Fatalf("ragged row lost: text=%q csv=%q", txt.String(), csv.String())
+	}
+}
+
 func TestTableFloatFormatting(t *testing.T) {
 	tb := NewTable("", "v")
 	tb.AddRow(0.0)
