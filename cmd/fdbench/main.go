@@ -8,35 +8,59 @@
 //	fdbench -run fig1 -format csv # machine-readable output
 //	fdbench -run fig6 -seed 7     # different random seed
 //	fdbench -run fig1 -parallel 1 # force serial (output is identical)
+//	fdbench -run all -quick -timingjson BENCH_quick.json
 //
 // Experiments run their parameter cells on a worker pool; -parallel
 // sets the pool size (0 = all CPUs). Output is byte-identical at any
-// worker count for the same seed.
+// worker count for the same seed. -timingjson additionally writes
+// per-experiment wall-clock timings to a JSON file, so CI can persist
+// the perf trajectory as an artifact without polluting stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/bench"
 )
 
+// timingReport is the -timingjson schema: enough context to compare
+// runs across commits (the CI artifact embeds the commit in its name).
+type timingReport struct {
+	Seed        uint64          `json:"seed"`
+	Quick       bool            `json:"quick"`
+	Parallel    int             `json:"parallel"`
+	GoVersion   string          `json:"go_version"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Experiments []experimentRow `json:"experiments"`
+	TotalMs     float64         `json:"total_ms"`
+}
+
+type experimentRow struct {
+	ID string  `json:"id"`
+	Ms float64 `json:"ms"`
+}
+
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list experiments and exit")
-		run      = flag.String("run", "", "experiment id to run, or 'all'")
-		format   = flag.String("format", "text", "output format: text or csv")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		quick    = flag.Bool("quick", false, "reduced trial counts")
-		parallel = flag.Int("parallel", 0, "worker goroutines per experiment (0 = all CPUs, 1 = serial)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		run        = flag.String("run", "", "experiment id to run, or 'all'")
+		format     = flag.String("format", "text", "output format: text or csv")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		quick      = flag.Bool("quick", false, "reduced trial counts")
+		parallel   = flag.Int("parallel", 0, "worker goroutines per experiment (0 = all CPUs, 1 = serial)")
+		timingJSON = flag.String("timingjson", "", "write per-experiment wall-clock timings to this JSON file")
 	)
 	flag.Parse()
 
 	if *list || *run == "" {
 		fmt.Println("experiments:")
 		for _, e := range bench.List() {
-			fmt.Printf("  %-14s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-16s %s\n", e.ID, e.Title)
 		}
 		if *run == "" && !*list {
 			fmt.Println("\nrun one with: fdbench -run <id>   (or -run all)")
@@ -61,17 +85,37 @@ func main() {
 		workers = bench.AutoWorkers()
 	}
 	cfg := bench.RunConfig{Seed: *seed, Quick: *quick, Workers: workers}
+	report := timingReport{
+		Seed: *seed, Quick: *quick, Parallel: workers,
+		GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 	for i, e := range targets {
 		if i > 0 {
 			fmt.Println()
 		}
+		start := time.Now()
 		res := e.Run(cfg)
+		elapsed := time.Since(start)
+		report.Experiments = append(report.Experiments, experimentRow{
+			ID: e.ID, Ms: float64(elapsed.Microseconds()) / 1e3,
+		})
+		report.TotalMs += float64(elapsed.Microseconds()) / 1e3
 		var err error
 		if *format == "csv" {
 			err = res.Table.WriteCSV(os.Stdout)
 		} else {
 			err = res.Table.WriteText(os.Stdout)
 			fmt.Printf("shape: %s\n", res.Shape)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *timingJSON != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*timingJSON, append(data, '\n'), 0o644)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,5 +1,5 @@
 // Command fdnet runs one multi-tag network scenario (internal/netsim)
-// and prints per-tag and cell-level statistics.
+// and prints per-tag, per-reader and cell-level statistics.
 //
 // Usage:
 //
@@ -7,11 +7,14 @@
 //	fdnet -preset warehouse            # run a built-in scenario
 //	fdnet -scenario deploy.json        # run a scenario from JSON
 //	fdnet -preset warehouse -tags 64   # override the population
+//	fdnet -preset mall-cells -readers 8 -scheduling tdm
+//	fdnet -preset sparse-field -mobility 2
 //	fdnet -preset lab-bench -format csv -seed 7
 //
-// Overrides (-tags, -topology, -radius, -load, -protocol) apply on top
-// of the preset or file; everything else comes from the scenario. Runs
-// are deterministic: same scenario + seed, same output.
+// Overrides (-tags, -topology, -radius, -load, -protocol, -readers,
+// -scheduling, -mobility) apply on top of the preset or file;
+// everything else comes from the scenario. Runs are deterministic:
+// same scenario + seed, same output.
 package main
 
 import (
@@ -25,16 +28,19 @@ import (
 
 func main() {
 	var (
-		presets  = flag.Bool("presets", false, "list built-in scenarios and exit")
-		preset   = flag.String("preset", "", "built-in scenario name")
-		file     = flag.String("scenario", "", "scenario JSON file")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		format   = flag.String("format", "text", "output format: text or csv")
-		tags     = flag.Int("tags", 0, "override tag count")
-		topology = flag.String("topology", "", "override topology (grid, uniform-disc, clustered)")
-		radius   = flag.Float64("radius", 0, "override deployment radius (m)")
-		load     = flag.Float64("load", 0, "override offered load (frames/tag/round)")
-		protocol = flag.String("protocol", "", "override MAC protocol (full-duplex, stop-and-wait, block-ack)")
+		presets    = flag.Bool("presets", false, "list built-in scenarios and exit")
+		preset     = flag.String("preset", "", "built-in scenario name")
+		file       = flag.String("scenario", "", "scenario JSON file")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		format     = flag.String("format", "text", "output format: text or csv")
+		tags       = flag.Int("tags", 0, "override tag count")
+		topology   = flag.String("topology", "", "override topology (grid, uniform-disc, clustered, cells)")
+		radius     = flag.Float64("radius", 0, "override deployment radius (m)")
+		load       = flag.Float64("load", 0, "override offered load (frames/tag/round)")
+		protocol   = flag.String("protocol", "", "override MAC protocol (full-duplex, stop-and-wait, block-ack)")
+		readers    = flag.Int("readers", 0, "override reader count")
+		scheduling = flag.String("scheduling", "", "override reader scheduling (independent, tdm)")
+		mobility   = flag.Float64("mobility", 0, "enable waypoint mobility with this drift step (m/epoch)")
 	)
 	flag.Parse()
 
@@ -43,7 +49,14 @@ func main() {
 		for _, name := range netsim.PresetNames() {
 			sc, _ := netsim.Preset(name)
 			sc.ApplyDefaults()
-			fmt.Printf("  %-14s %d tags, %s, r=%gm\n", name, sc.Tags, sc.Topology, sc.RadiusM)
+			extra := ""
+			if sc.Readers.Count > 1 {
+				extra += fmt.Sprintf(", %d readers (%s)", sc.Readers.Count, sc.Readers.Scheduling)
+			}
+			if sc.Mobility.Model == netsim.MobilityWaypoint {
+				extra += fmt.Sprintf(", mobile (%.3gm/epoch)", sc.Mobility.StepM)
+			}
+			fmt.Printf("  %-14s %d tags, %s, r=%gm%s\n", name, sc.Tags, sc.Topology, sc.RadiusM, extra)
 		}
 		if !*presets {
 			fmt.Println("\nrun one with: fdnet -preset <name>   (or -scenario <file.json>)")
@@ -80,6 +93,16 @@ func main() {
 	if *protocol != "" {
 		sc.Protocol = *protocol
 	}
+	if *readers > 0 {
+		sc.Readers.Count = *readers
+	}
+	if *scheduling != "" {
+		sc.Readers.Scheduling = *scheduling
+	}
+	if *mobility > 0 {
+		sc.Mobility.Model = netsim.MobilityWaypoint
+		sc.Mobility.StepM = *mobility
+	}
 
 	res, err := netsim.Run(sc, *seed)
 	if err != nil {
@@ -88,14 +111,14 @@ func main() {
 	}
 
 	tbl := trace.NewTable(fmt.Sprintf("%s: per-tag outcomes (seed %d)", res.Scenario.Name, *seed),
-		"tag", "dist_m", "snr_db", "chunk_loss", "fb_ber",
+		"tag", "reader", "dist_m", "snr_db", "chunk_loss", "fb_ber",
 		"offered", "delivered", "dropped", "collisions", "outage", "alive")
 	for _, t := range res.Tags {
 		alive := "yes"
 		if !t.Alive {
 			alive = "no"
 		}
-		tbl.AddRow(t.ID, t.DistanceM, t.SNRdB, t.ChunkLossProb, t.FeedbackBER,
+		tbl.AddRow(t.ID, t.Reader, t.DistanceM, t.SNRdB, t.ChunkLossProb, t.FeedbackBER,
 			t.FramesOffered, t.FramesDelivered, t.FramesDropped, t.Collisions,
 			t.OutageFraction, alive)
 	}
@@ -109,6 +132,14 @@ func main() {
 		os.Exit(1)
 	}
 	if *format != "csv" {
+		if len(res.Readers) > 1 {
+			fmt.Printf("\nreaders (%s):\n", res.Scenario.Readers.Scheduling)
+			for _, r := range res.Readers {
+				fmt.Printf("  reader %d at (%+.1f, %+.1f): %d tags, delivered %d, slots single/collision %d/%d\n",
+					r.ID, r.X, r.Y, r.AssociatedTags, r.FramesDelivered,
+					r.SingletonSlots, r.CollisionSlots)
+			}
+		}
 		fmt.Printf("\nrounds %d  slots idle/single/collision %d/%d/%d  elapsed %d B (%.3f s)\n",
 			res.Rounds, res.IdleSlots, res.SingletonSlots, res.CollisionSlots,
 			res.ElapsedBytes, res.SimulatedS)

@@ -81,7 +81,10 @@ func NewBurstLoss(seed uint64, startProb, meanBurstChunks, hitProb, baseLoss flo
 }
 
 // NewFullDuplexProtocol returns the paper's protocol: per-chunk feedback
-// with immediate selective retransmission and early termination.
+// with immediate selective retransmission and early termination. The
+// returned instance reuses internal scratch across Run calls and is not
+// safe for concurrent use — construct one per goroutine (the Loss
+// processes it consumes are per-goroutine anyway).
 func NewFullDuplexProtocol(p MACParams, seed uint64) mac.Protocol {
 	return &mac.FullDuplex{P: p, Seed: seed}
 }
@@ -127,16 +130,26 @@ func RunAdaptationTrace(cfg AdaptConfig, policy string, nChunks int) AdaptResult
 	return rateadapt.RunTrace(cfg, a, nChunks)
 }
 
-// Network scenario types (the multi-tag scenario engine).
+// Network scenario types (the multi-tag, multi-reader scenario engine).
 type (
 	// Scenario declares a multi-tag deployment as data: topology,
-	// RF plant, traffic, MAC dimensions, and per-tag energy budget.
+	// RF plant, readers, mobility, traffic, MAC dimensions, and per-tag
+	// energy budget.
 	Scenario = netsim.Scenario
-	// NetResult aggregates one scenario run (per-tag outcomes plus
-	// cell-level delivery, throughput, collision and energy metrics).
+	// ReaderSpec configures a Scenario's reader population: count,
+	// placement, and TDM versus independent-channel scheduling with
+	// finite channel isolation.
+	ReaderSpec = netsim.ReaderSpec
+	// MobilitySpec configures optional seeded waypoint tag mobility.
+	MobilitySpec = netsim.MobilitySpec
+	// NetResult aggregates one scenario run (per-tag and per-reader
+	// outcomes plus cell-level delivery, throughput, collision and
+	// energy metrics).
 	NetResult = netsim.NetResult
 	// NetTagStats reports one tag's outcome inside a NetResult.
 	NetTagStats = netsim.TagStats
+	// NetReaderStats reports one reader's outcome inside a NetResult.
+	NetReaderStats = netsim.ReaderStats
 )
 
 // RunScenario executes a multi-tag network scenario deterministically

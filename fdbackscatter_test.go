@@ -117,11 +117,32 @@ func TestFacadeScenarios(t *testing.T) {
 	if _, err := LoadScenario("no-such-file.json"); err == nil {
 		t.Fatal("missing scenario file must error")
 	}
+
+	// Multi-reader mobile deployments run through the facade types.
+	multi, err := RunScenario(Scenario{
+		Tags: 12, Topology: "cells", RadiusM: 10, ClusterSpreadM: 2,
+		Readers:      ReaderSpec{Count: 2, Placement: "line", SpacingM: 12},
+		Mobility:     MobilitySpec{Model: "waypoint", StepM: 1, EpochRounds: 2},
+		FramesPerTag: 2,
+	}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Readers) != 2 {
+		t.Fatalf("want 2 reader stats, got %d", len(multi.Readers))
+	}
+	var assoc int
+	for _, r := range multi.Readers {
+		assoc += r.AssociatedTags
+	}
+	if assoc != 12 {
+		t.Fatalf("reader associations sum to %d, want 12", assoc)
+	}
 }
 
 // The parallel facade path must reproduce the serial one byte for byte.
 func TestFacadeParallelMatchesSerial(t *testing.T) {
-	for _, id := range []string{"fig1", "fig4", "tab1", "scen-density"} {
+	for _, id := range []string{"fig1", "fig4", "tab1", "scen-density", "scen-multireader", "scen-mobility"} {
 		var serial, parallel strings.Builder
 		if _, err := RunExperiment(id, 5, true, true, &serial); err != nil {
 			t.Fatal(err)

@@ -166,6 +166,9 @@ func (r Result) DeliveryRate() float64 {
 }
 
 // Protocol runs frames through a loss process and accumulates a Result.
+// Implementations may keep internal scratch between Run calls, and the
+// Loss processes they consume are themselves stateful — a Protocol
+// instance is not safe for concurrent use; give each goroutine its own.
 type Protocol interface {
 	// Name identifies the protocol in experiment tables.
 	Name() string
@@ -309,10 +312,22 @@ func (s *BlockACK) Run(nFrames int, loss Loss) Result {
 // (collision handling); feedback bits can flip with FeedbackBER.
 // ---------------------------------------------------------------------
 
-// FullDuplex is the paper's protocol.
+// FullDuplex is the paper's protocol. The zero value is ready to use;
+// the scratch fields make repeated Run calls allocation-free (network
+// simulations run one frame per contention slot), and reusing one
+// instance with a new Seed reproduces exactly what a fresh instance
+// would: Run reseeds its internal source on every call. The scratch
+// makes an instance single-goroutine (see Protocol); construct one per
+// worker.
 type FullDuplex struct {
 	P    Params
 	Seed uint64
+
+	// Reused per-run scratch (see Run); never observable in results.
+	src       *simrand.Source
+	delivered []bool
+	believed  []bool
+	queue     []int
 }
 
 // Name implements Protocol.
@@ -323,26 +338,40 @@ func (s *FullDuplex) Run(nFrames int, loss Loss) Result {
 	p := s.P
 	p.applyDefaults()
 	res := Result{Protocol: s.Name()}
-	src := simrand.New(s.Seed ^ 0xfdb5)
+	if s.src == nil {
+		s.src = simrand.New(s.Seed ^ 0xfdb5)
+	} else {
+		s.src.Reseed(s.Seed ^ 0xfdb5)
+	}
+	src := s.src
 	n := p.NumChunks()
+	if cap(s.delivered) < n {
+		s.delivered = make([]bool, n)
+		s.believed = make([]bool, n)
+	}
 	chunkAir := int64(p.chunkAir())
 	for f := 0; f < nFrames; f++ {
 		res.FramesSent++
 		// delivered[i]: ground truth at the tag; believed[i]: sender's view.
-		delivered := make([]bool, n)
-		believed := make([]bool, n)
+		delivered := s.delivered[:n]
+		believed := s.believed[:n]
+		for i := range delivered {
+			delivered[i] = false
+			believed[i] = false
+		}
 		var frameElapsed int64
 		frameDone := false
 		attempts := 0
 		for !frameDone && attempts < p.MaxAttempts {
 			attempts++
 			// Build the queue of chunks the sender believes missing.
-			var queue []int
+			queue := s.queue[:0]
 			for i := 0; i < n; i++ {
 				if !believed[i] {
 					queue = append(queue, i)
 				}
 			}
+			s.queue = queue[:0]
 			if len(queue) == 0 {
 				// Sender believes done but the tag disagrees (false
 				// ACKs): the end-of-frame trailer check fails and the
@@ -367,9 +396,6 @@ func (s *FullDuplex) Run(nFrames int, loss Loss) Result {
 				}
 				lost := loss.Chunk()
 				ok := delivered[c] || !lost
-				if !delivered[c] && lost {
-					ok = false
-				}
 				res.AirtimeBytes += chunkAir
 				res.ElapsedBytes += chunkAir
 				frameElapsed += chunkAir

@@ -2,23 +2,35 @@
 // the point-to-point layers (channel path loss, packet-level MAC
 // protocols, the feedback channel's BER model, the rate table's loss
 // cliff, and the tag energy budget) into configurable deployments of N
-// tags contending under one reader.
+// tags contending under R readers.
 //
 // A deployment is declared as data (Scenario, loadable from JSON or a
-// built-in preset) and executed by Run: tags are placed by a named
-// topology, each tag's forward chunk-loss probability and feedback BER
-// derive from its geometry exactly the way the calibrated link
-// experiments derive theirs, and medium access is framed slotted ALOHA
-// — each inventory round opens a contention window, singleton slots
-// carry one frame through the configured MAC protocol, collision slots
-// burn airtime that depends on whether the protocol can detect the
-// collision early (the paper's full-duplex advantage at network scale).
+// built-in preset) and executed by Run: readers are placed by a named
+// deterministic layout, tags by a named topology, each tag associates
+// with the reader whose carrier reaches it strongest, and each tag's
+// forward chunk-loss probability and feedback BER derive from its
+// geometry exactly the way the calibrated link experiments derive
+// theirs. Medium access is framed slotted ALOHA per reader — each
+// inventory round opens one contention window per active reader,
+// singleton slots carry one frame through the configured MAC protocol,
+// collision slots burn airtime that depends on whether the protocol can
+// detect the collision early (the paper's full-duplex advantage at
+// network scale). Readers share the spectrum either on independent,
+// imperfectly isolated channels (neighbouring carriers raise each tag's
+// noise floor) or by TDM (one reader per epoch, no interference, less
+// service). Optional waypoint mobility drifts tags each epoch and
+// re-derives every link quality — and the strongest-carrier association
+// — from the new geometry.
 //
 // Determinism: a run is a pure function of (Scenario, seed). All
 // randomness flows from one simrand tree split in a fixed order, the
 // engine is single-goroutine, and tags are iterated by index — so runs
 // embed directly as cells in the bench worker pool with byte-identical
-// output at any worker count.
+// output at any worker count. The per-round hot path is allocation-free:
+// tag state lives in one flat array, contention scratch is reused across
+// rounds and readers, and the only per-frame cost beyond arithmetic is
+// the MAC protocol run itself (whose scratch is reused too), so
+// thousand-tag multi-reader runs complete in seconds.
 package netsim
 
 import (
@@ -33,51 +45,47 @@ import (
 	"repro/internal/simrand"
 )
 
-// tagNode is the engine's per-tag state.
+// tagNode is the engine's per-tag state, stored flat in one array so
+// the round loop walks contiguous memory.
 type tagNode struct {
-	incidentW float64 // carrier power at the tag antenna (constant per run)
-	params    mac.Params
-	queue     int // frames awaiting delivery
-	budget    energy.Budget
-	loss      mac.Loss
-	protoSrc  *simrand.Source // fresh protocol seed per transmission
-	stats     TagStats
-	alive     bool
-	dieTime   float64 // seconds at death, for lifetime stats
+	pos      Position
+	reader   int     // serving reader (strongest carrier, re-derived per epoch)
+	carrierW float64 // serving carrier power at the tag antenna
+	harvestW float64 // total harvestable RF power (all carriers) under independent scheduling
+	params   mac.Params
+	queue    int // frames awaiting delivery
+	budget   energy.Budget
+	loss     *mac.IIDLoss
+	protoSrc *simrand.Source // fresh protocol seed per transmission
+	stats    TagStats
+	alive    bool
+	dieTime  float64 // seconds at death, for lifetime stats
 	// Per-round accumulators for energy accounting.
 	txCount int     // frames transmitted this round
 	txDt    float64 // seconds spent transmitting this round
-}
-
-// newProto builds the scenario's MAC protocol instance for one frame
-// transmission. Full duplex draws a fresh seed per transmission so
-// feedback-decoding randomness is independent across frames (the
-// protocol reseeds its internal source on every Run call).
-func (n *tagNode) newProto(protocol string) mac.Protocol {
-	switch protocol {
-	case "stop-and-wait":
-		return &mac.StopAndWait{P: n.params}
-	case "block-ack":
-		return &mac.BlockACK{P: n.params}
-	default:
-		return &mac.FullDuplex{P: n.params, Seed: n.protoSrc.Uint64()}
-	}
 }
 
 // TagStats reports one tag's outcome.
 type TagStats struct {
 	// ID indexes the tag in placement order.
 	ID int
-	// X, Y, DistanceM locate the tag (reader at origin).
+	// Reader is the serving reader (strongest carrier) at the final
+	// epoch.
+	Reader int
+	// X, Y locate the tag at the final epoch (tags move under
+	// mobility); DistanceM is the range to the serving reader.
 	X, Y, DistanceM float64
-	// SNRdB is the forward-link SNR at the tag.
+	// SNRdB is the forward-link SNR at the tag at the final epoch,
+	// including inter-reader interference in the noise floor under
+	// independent scheduling.
 	SNRdB float64
 	// ChunkLossProb and FeedbackBER are the geometry-derived link
-	// qualities the MAC saw.
+	// qualities the MAC saw at the final epoch.
 	ChunkLossProb, FeedbackBER float64
 	// FramesOffered counts frames entering the queue; FramesDelivered
 	// the ones the MAC carried; FramesDropped the open-loop arrivals
-	// lost to a full queue.
+	// lost to a full queue. Dead tags stop accruing arrivals: traffic
+	// to a browned-out tag is neither offered nor dropped.
 	FramesOffered, FramesDelivered, FramesDropped int
 	// Collisions counts contention slots this tag lost to a collision.
 	Collisions int
@@ -99,17 +107,20 @@ type NetResult struct {
 	Seed uint64
 	// Tags holds per-tag outcomes in placement order.
 	Tags []TagStats
+	// Readers holds per-reader outcomes in placement order.
+	Readers []ReaderStats
 	// Rounds actually executed.
 	Rounds int
 	// FramesOffered / FramesDelivered / FramesDropped sum over tags.
 	FramesOffered, FramesDelivered, FramesDropped int64
-	// GoodputBytes is payload delivered across the cell.
+	// GoodputBytes is payload delivered across all cells.
 	GoodputBytes int64
-	// ElapsedBytes is the shared-medium clock: every slot, frame, and
-	// backoff advances it (bytes on air at the base rate).
+	// ElapsedBytes is the shared clock: each round advances it by the
+	// longest concurrently active reader's window (bytes on air at the
+	// base rate), since independent channels run in parallel.
 	ElapsedBytes int64
 	// IdleSlots / SingletonSlots / CollisionSlots classify contention
-	// slots.
+	// slots across every reader.
 	IdleSlots, SingletonSlots, CollisionSlots int64
 	// CollisionBytes is airtime burned by collisions.
 	CollisionBytes int64
@@ -126,7 +137,7 @@ func (r *NetResult) DeliveryRate() float64 {
 }
 
 // Throughput returns goodput bytes per elapsed byte-time on the shared
-// medium — the cell's aggregate efficiency.
+// clock — the deployment's aggregate efficiency.
 func (r *NetResult) Throughput() float64 {
 	if r.ElapsedBytes == 0 {
 		return 0
@@ -184,7 +195,8 @@ func (r *NetResult) MeanSNRdB() float64 {
 
 // FairnessIndex returns Jain's fairness index over per-tag delivered
 // frames: 1 when every tag got equal service, 1/N when one tag took
-// everything.
+// everything, and 0 when nothing was delivered at all (no service to be
+// fair about).
 func (r *NetResult) FairnessIndex() float64 {
 	var sum, sumSq float64
 	for _, t := range r.Tags {
@@ -199,23 +211,74 @@ func (r *NetResult) FairnessIndex() float64 {
 	return sum * sum / (n * sumSq)
 }
 
+// roundProbe observes the engine at each round's energy settlement:
+// the round index, the settled wall-clock dt, the flat tag array (with
+// txCount/txDt still holding this round's accumulators), and each tag's
+// effective harvest power. Test-only hook; production runs pass nil.
+type roundProbe func(round int, dt float64, tags []tagNode, harvestW []float64)
+
+// engine holds one run's state: the flat tag array plus every piece of
+// scratch the round loop reuses, so steady-state rounds allocate
+// nothing.
+type engine struct {
+	sc      Scenario
+	pl      channel.LogDistance
+	rate    rateadapt.RateSpec
+	readers []Position
+	rstats  []ReaderStats
+	tags    []tagNode
+	// gains[i*R+r] is the linear power gain from reader r to tag i,
+	// re-derived per epoch under mobility.
+	gains []float64
+	// readerTags[r] indexes the tags served by reader r (rebuilt per
+	// epoch; backing arrays reused).
+	readerTags [][]int
+	// couplingW is the linear inter-channel leakage factor under
+	// independent scheduling (0 under TDM).
+	couplingW float64
+	tdm       bool
+
+	// Round-loop scratch.
+	slotChoice []int
+	slotWinner []int
+	slotCount  []int
+	harvest    []float64
+
+	// Reused protocol instances (their internal scratch persists
+	// across frames; full duplex is reseeded per transmission).
+	fd mac.FullDuplex
+	sw mac.StopAndWait
+	ba mac.BlockACK
+
+	secondsPerByte float64
+	chunkAir       int64
+	collisionCost  int64
+}
+
 // Run executes the scenario deterministically under the given seed.
-func Run(sc Scenario, seed uint64) (*NetResult, error) {
+func Run(sc Scenario, seed uint64) (*NetResult, error) { return run(sc, seed, nil) }
+
+func run(sc Scenario, seed uint64, probe roundProbe) (*NetResult, error) {
 	sc.ApplyDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	// One random tree, split in fixed order; every source below is
+	// always split even when unused (a static run still splits the
+	// mobility source) so the per-tag streams never depend on which
+	// features are enabled beyond the scenario itself.
 	root := simrand.New(seed)
 	placeSrc := root.Split()
 	trafficSrc := root.Split()
 	slotSrc := root.Split()
+	mobilitySrc := root.Split()
 
-	positions, err := PlaceTags(sc.Topology, sc.Tags, sc.RadiusM, sc.Clusters, sc.ClusterSpreadM, placeSrc)
+	readers := PlaceReaders(sc.Readers)
+	positions, err := PlaceTags(sc.Topology, sc.Tags, sc.RadiusM, sc.Clusters, sc.ClusterSpreadM, readers, placeSrc)
 	if err != nil {
 		return nil, err
 	}
 
-	pl := channel.NewLogDistance(sc.FreqHz, sc.PathLossExp)
 	params := mac.Params{
 		PayloadBytes:   sc.PayloadBytes,
 		ChunkBytes:     sc.ChunkBytes,
@@ -223,54 +286,9 @@ func Run(sc Scenario, seed uint64) (*NetResult, error) {
 		BackoffChunks:  sc.BackoffChunks,
 		MaxAttempts:    sc.MaxAttempts,
 	}
-	rate := rateadapt.RateSpec{Name: "1x", Mult: 1, ReqSNRdB: sc.ReqSNRdB}
 	chunkAir := int64(params.ChunkAirBytes())
 	// A whole-frame attempt on air, for collision cost accounting.
 	frameAir := int64(params.FrameAirBytes())
-
-	tags := make([]*tagNode, sc.Tags)
-	for i, pos := range positions {
-		d := pos.Distance()
-		g := pl.Gain(d)
-		// Forward link: SNR at the tag sets the chunk-loss cliff exactly
-		// as the rate-adaptation channel model does.
-		snrDB := 10 * math.Log10(sc.TxPowerW*g/sc.NoiseW)
-		lossP := rateadapt.ChunkLossProb(rate, snrDB)
-		// Reverse link: the backscattered feedback rides a round-trip
-		// channel; its BER follows the Manchester decoder prediction with
-		// the same calibration as the waveform feedback experiments
-		// (normalised separation g*sqrt(rho), noise referred to the
-		// transmit envelope).
-		delta := g * math.Sqrt(sc.Rho)
-		sigma := math.Sqrt(sc.NoiseW/2) / math.Sqrt(sc.TxPowerW)
-		fbBER := feedback.ManchesterBER(delta, sigma, sc.FeedbackSamplesPerBit)
-
-		p := params
-		p.FeedbackBER = fbBER
-		tagSrc := root.Split()
-		n := &tagNode{
-			incidentW: sc.TxPowerW * g, params: p, alive: true,
-			budget: energy.Budget{
-				Harvester: energy.Harvester{Efficiency: sc.HarvesterEff, SensitivityW: sc.HarvesterFloorW},
-				Cap:       energy.Capacitor{CapacitanceF: sc.CapacitanceF},
-				CircuitW:  sc.IdleCircuitW,
-			},
-			stats: TagStats{
-				ID: i, X: pos.X, Y: pos.Y, DistanceM: d, SNRdB: snrDB,
-				ChunkLossProb: lossP, FeedbackBER: fbBER,
-			},
-		}
-		n.budget.Cap.SetVoltage(sc.StartVoltageV)
-		n.loss = mac.NewIIDLoss(lossP, tagSrc)
-		n.protoSrc = tagSrc.Split()
-		if sc.OfferedLoad == 0 {
-			n.queue = sc.FramesPerTag
-			n.stats.FramesOffered = sc.FramesPerTag
-		}
-		tags[i] = n
-	}
-
-	res := &NetResult{Scenario: sc, Seed: seed}
 	// Collision cost: a full-duplex reader sees the feedback margin
 	// collapse and aborts within AbortThreshold chunks; a half-duplex
 	// protocol only learns at the missing end-of-frame ACK, so the whole
@@ -284,17 +302,106 @@ func Run(sc Scenario, seed uint64) (*NetResult, error) {
 		}
 	}
 
-	secondsPerByte := 8 / sc.BitRateBps
-	slotChoices := make([]int, sc.Tags)
-	slotWinner := make([]int, sc.ContentionWindow)
-	slotCount := make([]int, sc.ContentionWindow)
+	e := &engine{
+		sc:             sc,
+		pl:             channel.NewLogDistance(sc.FreqHz, sc.PathLossExp),
+		rate:           rateadapt.RateSpec{Name: "1x", Mult: 1, ReqSNRdB: sc.ReqSNRdB},
+		readers:        readers,
+		rstats:         make([]ReaderStats, len(readers)),
+		tags:           make([]tagNode, sc.Tags),
+		gains:          make([]float64, sc.Tags*len(readers)),
+		readerTags:     make([][]int, len(readers)),
+		tdm:            sc.Readers.Scheduling == SchedulingTDM,
+		slotChoice:     make([]int, sc.Tags),
+		slotWinner:     make([]int, sc.ContentionWindow),
+		slotCount:      make([]int, sc.ContentionWindow),
+		harvest:        make([]float64, sc.Tags),
+		secondsPerByte: 8 / sc.BitRateBps,
+		chunkAir:       chunkAir,
+		collisionCost:  collisionCost,
+	}
+	if !e.tdm {
+		e.couplingW = math.Pow(10, -sc.Readers.IsolationdB/10)
+	}
+	for r := range e.rstats {
+		e.rstats[r] = ReaderStats{ID: r, X: readers[r].X, Y: readers[r].Y}
+	}
+	for i := range e.tags {
+		n := &e.tags[i]
+		n.pos = positions[i]
+		n.params = params
+		n.alive = true
+		n.budget = energy.Budget{
+			Harvester: energy.Harvester{Efficiency: sc.HarvesterEff, SensitivityW: sc.HarvesterFloorW},
+			Cap:       energy.Capacitor{CapacitanceF: sc.CapacitanceF},
+			CircuitW:  sc.IdleCircuitW,
+		}
+		n.budget.Cap.SetVoltage(sc.StartVoltageV)
+		n.stats = TagStats{ID: i}
+		tagSrc := root.Split()
+		n.loss = mac.NewIIDLoss(0, tagSrc) // probability set by deriveLinks
+		n.protoSrc = tagSrc.Split()
+		if sc.OfferedLoad == 0 {
+			n.queue = sc.FramesPerTag
+			n.stats.FramesOffered = sc.FramesPerTag
+		}
+	}
+	e.deriveLinks()
+
+	var walk *waypointWalk
+	if sc.Mobility.enabled() {
+		walk = newWaypointWalk(sc.Tags, sc.RadiusM, sc.Mobility.StepM, mobilitySrc)
+	}
+
+	res := &NetResult{Scenario: sc, Seed: seed}
+	epochLen := sc.Mobility.EpochRounds
+	activeReader := -1 // <0: every reader is active (independent scheduling)
 
 	for round := 0; round < sc.MaxRounds; round++ {
+		// A closed-loop run is done once every live queue drained at the
+		// end of the previous round; check before counting the round so
+		// Rounds reports only rounds that actually opened a window.
+		if sc.OfferedLoad == 0 {
+			queued := false
+			for i := range e.tags {
+				if e.tags[i].alive && e.tags[i].queue > 0 {
+					queued = true
+					break
+				}
+			}
+			if !queued {
+				break
+			}
+		}
 		res.Rounds = round + 1
-		// Open-loop arrivals.
+		if round%epochLen == 0 {
+			// positions mirrors tags[i].pos (nothing else moves a tag),
+			// so the walk advances it in place and the nodes copy back.
+			if walk != nil && round > 0 {
+				walk.advance(positions)
+				for i := range e.tags {
+					e.tags[i].pos = positions[i]
+				}
+				e.deriveLinks()
+			}
+			if e.tdm {
+				activeReader = (round / epochLen) % len(e.readers)
+			}
+		}
+
+		// Open-loop arrivals. Policy: the Poisson draw happens for every
+		// tag, dead or alive, so one tag's death never shifts the arrival
+		// stream the others see; a dead tag's frames are simply not
+		// offered — it can neither queue nor deliver them, and counting
+		// them would deflate DeliveryRate with traffic that never existed
+		// for the MAC.
 		if sc.OfferedLoad > 0 {
-			for _, n := range tags {
+			for i := range e.tags {
+				n := &e.tags[i]
 				k := trafficSrc.Poisson(sc.OfferedLoad)
+				if !n.alive {
+					continue
+				}
 				n.stats.FramesOffered += k
 				free := sc.QueueCap - n.queue
 				if k > free {
@@ -305,87 +412,45 @@ func Run(sc Scenario, seed uint64) (*NetResult, error) {
 			}
 		}
 
-		// Contention: every alive tag with traffic picks a slot.
-		for i := range slotWinner {
-			slotWinner[i] = -1
-			slotCount[i] = 0
-		}
-		contenders := 0
-		for i, n := range tags {
-			slotChoices[i] = -1
-			if !n.alive || n.queue == 0 {
+		// One contention window per active reader. Independent channels
+		// run concurrently, so the wall clock advances by the longest
+		// window; under TDM only one reader transmits.
+		var roundBytes int64
+		for r := range e.readers {
+			if activeReader >= 0 && r != activeReader {
 				continue
 			}
-			s := slotSrc.IntN(sc.ContentionWindow)
-			slotChoices[i] = s
-			slotCount[s]++
-			slotWinner[s] = i
-			contenders++
-		}
-		if contenders == 0 && sc.OfferedLoad == 0 {
-			break // closed-loop run drained every queue
-		}
-
-		var roundBytes int64
-		for s := 0; s < sc.ContentionWindow; s++ {
-			switch {
-			case slotCount[s] == 0:
-				res.IdleSlots++
-				roundBytes += chunkAir // empty slots are short: one chunk-time
-			case slotCount[s] == 1:
-				res.SingletonSlots++
-				n := tags[slotWinner[s]]
-				mr := n.newProto(sc.Protocol).Run(1, n.loss)
-				n.queue--
-				n.stats.AirtimeBytes += mr.AirtimeBytes
-				roundBytes += mr.ElapsedBytes
-				if mr.FramesDelivered == 1 {
-					n.stats.FramesDelivered++
-					res.GoodputBytes += mr.GoodputBytes
-				} else {
-					// Undelivered after MaxAttempts: re-queue for a later
-					// round (unless the open-loop queue refilled).
-					if n.queue < sc.QueueCap {
-						n.queue++
-					} else {
-						n.stats.FramesDropped++
-					}
-				}
-				// Energy is settled once at round end; record how long
-				// this tag spent transmitting so its harvest and draw can
-				// be adjusted there.
-				n.txCount++
-				n.txDt += float64(mr.ElapsedBytes) * secondsPerByte
-			default:
-				res.CollisionSlots++
-				res.CollisionBytes += collisionCost
-				roundBytes += collisionCost
-				for i, n := range tags {
-					if slotChoices[i] == s {
-						n.stats.Collisions++
-					}
-				}
+			rb := e.runWindow(r, slotSrc, res)
+			if rb > roundBytes {
+				roundBytes = rb
 			}
 		}
 
 		// Settle every tag's energy budget over the round in one step:
 		// the idle draw plus, for transmitters, the per-frame transmit
-		// energy spread over the round, harvesting the carrier reduced
-		// by the rho/2 Manchester-duty reflection loss during their
-		// transmit time.
+		// energy spread over the round, harvesting the incident carriers
+		// reduced by the rho/2 Manchester-duty reflection loss during
+		// their transmit time. Under TDM a tag harvests only the single
+		// active carrier from wherever it stands; under independent
+		// scheduling every carrier contributes.
 		res.ElapsedBytes += roundBytes
-		dt := float64(roundBytes) * secondsPerByte
-		now := float64(res.ElapsedBytes) * secondsPerByte
-		for _, n := range tags {
-			harvestW := n.incidentW
+		dt := float64(roundBytes) * e.secondsPerByte
+		now := float64(res.ElapsedBytes) * e.secondsPerByte
+		for i := range e.tags {
+			n := &e.tags[i]
+			harvestW := n.harvestW
+			if activeReader >= 0 {
+				harvestW = sc.TxPowerW * e.gains[i*len(e.readers)+activeReader]
+			}
 			circuitW := sc.IdleCircuitW
 			if dt > 0 {
 				if n.txDt > 0 {
-					_, during := energy.SplitIncident(n.incidentW, sc.Rho/2)
-					harvestW -= (n.incidentW - during) * (n.txDt / dt)
+					_, during := energy.SplitIncident(harvestW, sc.Rho/2)
+					harvestW -= (harvestW - during) * (n.txDt / dt)
 				}
 				circuitW += float64(n.txCount) * sc.TxEnergyJ / dt
 			}
+			e.harvest[i] = harvestW
 			n.budget.CircuitW = circuitW
 			ok := n.budget.Step(harvestW, dt)
 			n.budget.CircuitW = sc.IdleCircuitW
@@ -393,12 +458,19 @@ func Run(sc Scenario, seed uint64) (*NetResult, error) {
 				n.alive = false
 				n.dieTime = now
 			}
-			n.txCount, n.txDt = 0, 0
+		}
+		if probe != nil {
+			probe(round, dt, e.tags, e.harvest)
+		}
+		for i := range e.tags {
+			e.tags[i].txCount, e.tags[i].txDt = 0, 0
 		}
 	}
 
-	res.SimulatedS = float64(res.ElapsedBytes) * secondsPerByte
-	for _, n := range tags {
+	res.SimulatedS = float64(res.ElapsedBytes) * e.secondsPerByte
+	res.Tags = make([]TagStats, 0, len(e.tags))
+	for i := range e.tags {
+		n := &e.tags[i]
 		n.stats.OutageFraction = n.budget.OutageFraction()
 		n.stats.Alive = n.alive
 		if n.alive {
@@ -411,12 +483,187 @@ func Run(sc Scenario, seed uint64) (*NetResult, error) {
 		res.FramesDropped += int64(n.stats.FramesDropped)
 		res.Tags = append(res.Tags, n.stats)
 	}
+	for r := range e.rstats {
+		e.rstats[r].AssociatedTags = len(e.readerTags[r])
+		res.Readers = append(res.Readers, e.rstats[r])
+	}
 	return res, nil
+}
+
+// deriveLinks recomputes, for the current tag positions, every gain,
+// the strongest-carrier association, and each tag's forward chunk-loss
+// probability and feedback BER — using exactly the calibrations the
+// point-to-point link experiments use. Under independent scheduling the
+// neighbouring readers' carriers, attenuated by the channel isolation,
+// join the tag's noise floor for both directions. Called once for
+// static deployments and once per epoch under mobility.
+func (e *engine) deriveLinks() {
+	sc := &e.sc
+	R := len(e.readers)
+	for r := range e.readerTags {
+		e.readerTags[r] = e.readerTags[r][:0]
+	}
+	for i := range e.tags {
+		n := &e.tags[i]
+		base := i * R
+		best, bestG := 0, -1.0
+		sumW := 0.0
+		for r := range e.readers {
+			g := e.pl.Gain(math.Hypot(n.pos.X-e.readers[r].X, n.pos.Y-e.readers[r].Y))
+			e.gains[base+r] = g
+			sumW += sc.TxPowerW * g
+			if g > bestG {
+				best, bestG = r, g
+			}
+		}
+		n.reader = best
+		n.carrierW = sc.TxPowerW * bestG
+		n.harvestW = sumW
+		e.readerTags[best] = append(e.readerTags[best], i)
+
+		// Inter-reader interference: under independent scheduling the
+		// other carriers leak through the channel isolation into this
+		// tag's noise floor every round. Under TDM neighbours are never
+		// active in the same epoch, so nothing is added.
+		noiseW := sc.NoiseW + e.couplingW*(sumW-n.carrierW)
+
+		// Forward link: SNR at the tag sets the chunk-loss cliff exactly
+		// as the rate-adaptation channel model does.
+		snrDB := 10 * math.Log10(n.carrierW/noiseW)
+		lossP := rateadapt.ChunkLossProb(e.rate, snrDB)
+		// Reverse link: the backscattered feedback rides a round-trip
+		// channel; its BER follows the Manchester decoder prediction with
+		// the same calibration as the waveform feedback experiments
+		// (normalised separation g*sqrt(rho), noise referred to the
+		// transmit envelope).
+		delta := bestG * math.Sqrt(sc.Rho)
+		sigma := math.Sqrt(noiseW/2) / math.Sqrt(sc.TxPowerW)
+		fbBER := feedback.ManchesterBER(delta, sigma, sc.FeedbackSamplesPerBit)
+
+		n.loss.P = lossP
+		n.params.FeedbackBER = fbBER
+		n.stats.Reader = best
+		n.stats.X, n.stats.Y = n.pos.X, n.pos.Y
+		n.stats.DistanceM = math.Hypot(n.pos.X-e.readers[best].X, n.pos.Y-e.readers[best].Y)
+		n.stats.SNRdB = snrDB
+		n.stats.ChunkLossProb = lossP
+		n.stats.FeedbackBER = fbBER
+	}
+}
+
+// runFrame pushes one frame of tag n through the scenario's MAC
+// protocol, reusing the engine's protocol instances. Full duplex draws
+// a fresh seed per transmission so feedback-decoding randomness is
+// independent across frames (the protocol reseeds its internal source
+// on every Run call).
+func (e *engine) runFrame(n *tagNode) mac.Result {
+	switch e.sc.Protocol {
+	case "stop-and-wait":
+		e.sw.P = n.params
+		return e.sw.Run(1, n.loss)
+	case "block-ack":
+		e.ba.P = n.params
+		return e.ba.Run(1, n.loss)
+	default:
+		e.fd.P = n.params
+		e.fd.Seed = n.protoSrc.Uint64()
+		return e.fd.Run(1, n.loss)
+	}
+}
+
+// runWindow executes one reader's contention window for the current
+// round and returns the window's airtime in bytes. Slot draws happen in
+// tag-index order within the reader's association list, so the stream
+// consumed from slotSrc is a fixed function of the deterministic
+// engine state.
+func (e *engine) runWindow(r int, slotSrc *simrand.Source, res *NetResult) int64 {
+	cw := e.sc.ContentionWindow
+	idxs := e.readerTags[r]
+
+	contenders := 0
+	for s := 0; s < cw; s++ {
+		e.slotWinner[s] = -1
+		e.slotCount[s] = 0
+	}
+	for _, i := range idxs {
+		n := &e.tags[i]
+		if !n.alive || n.queue == 0 {
+			continue
+		}
+		s := slotSrc.IntN(cw)
+		e.slotChoice[i] = s
+		e.slotCount[s]++
+		e.slotWinner[s] = i
+		contenders++
+	}
+	if contenders == 0 {
+		// Nothing to send in this cell: the whole window elapses idle.
+		res.IdleSlots += int64(cw)
+		return int64(cw) * e.chunkAir
+	}
+	// Attribute collisions before slots execute (the contender set is
+	// exactly the set that drew above; queues change only below). A
+	// colliding tag was on air until the reader shut the slot down, so
+	// it pays the transmit energy for that airtime at round-end
+	// settlement just like a singleton winner does — the frame itself
+	// stays queued.
+	for _, i := range idxs {
+		n := &e.tags[i]
+		if !n.alive || n.queue == 0 {
+			continue
+		}
+		if e.slotCount[e.slotChoice[i]] > 1 {
+			n.stats.Collisions++
+			n.txCount++
+			n.txDt += float64(e.collisionCost) * e.secondsPerByte
+		}
+	}
+
+	var rb int64
+	for s := 0; s < cw; s++ {
+		switch e.slotCount[s] {
+		case 0:
+			res.IdleSlots++
+			rb += e.chunkAir // empty slots are short: one chunk-time
+		case 1:
+			res.SingletonSlots++
+			e.rstats[r].SingletonSlots++
+			n := &e.tags[e.slotWinner[s]]
+			mr := e.runFrame(n)
+			n.queue--
+			n.stats.AirtimeBytes += mr.AirtimeBytes
+			rb += mr.ElapsedBytes
+			if mr.FramesDelivered == 1 {
+				n.stats.FramesDelivered++
+				e.rstats[r].FramesDelivered++
+				res.GoodputBytes += mr.GoodputBytes
+			} else {
+				// Undelivered after MaxAttempts: re-queue for a later
+				// round (unless the open-loop queue refilled).
+				if n.queue < e.sc.QueueCap {
+					n.queue++
+				} else {
+					n.stats.FramesDropped++
+				}
+			}
+			// Energy is settled once at round end; record how long this
+			// tag spent transmitting so its harvest and draw can be
+			// adjusted there.
+			n.txCount++
+			n.txDt += float64(mr.ElapsedBytes) * e.secondsPerByte
+		default:
+			res.CollisionSlots++
+			e.rstats[r].CollisionSlots++
+			res.CollisionBytes += e.collisionCost
+			rb += e.collisionCost
+		}
+	}
+	return rb
 }
 
 // String summarises a run for logs.
 func (r *NetResult) String() string {
-	return fmt.Sprintf("%s: %d tags, %d rounds, delivered %d/%d, thrpt=%.3f, coll=%.3f, alive=%.2f",
-		r.Scenario.Name, len(r.Tags), r.Rounds, r.FramesDelivered, r.FramesOffered,
+	return fmt.Sprintf("%s: %d tags, %d readers, %d rounds, delivered %d/%d, thrpt=%.3f, coll=%.3f, alive=%.2f",
+		r.Scenario.Name, len(r.Tags), len(r.Readers), r.Rounds, r.FramesDelivered, r.FramesOffered,
 		r.Throughput(), r.CollisionFraction(), r.AliveFraction())
 }

@@ -14,7 +14,7 @@ func TestPlaceTagsCounts(t *testing.T) {
 	for _, topo := range []string{TopologyGrid, TopologyUniformDisc, TopologyClustered} {
 		for _, n := range []int{1, 3, 9, 17} {
 			src := simrand.New(7)
-			pos, err := PlaceTags(topo, n, 5, 3, 0.5, src)
+			pos, err := PlaceTags(topo, n, 5, 3, 0.5, nil, src)
 			if err != nil {
 				t.Fatalf("%s n=%d: %v", topo, n, err)
 			}
@@ -37,11 +37,11 @@ func TestPlaceTagsCounts(t *testing.T) {
 
 func TestPlaceTagsDeterministic(t *testing.T) {
 	for _, topo := range []string{TopologyGrid, TopologyUniformDisc, TopologyClustered} {
-		a, err := PlaceTags(topo, 12, 4, 3, 0.5, simrand.New(3))
+		a, err := PlaceTags(topo, 12, 4, 3, 0.5, nil, simrand.New(3))
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, _ := PlaceTags(topo, 12, 4, 3, 0.5, simrand.New(3))
+		b, _ := PlaceTags(topo, 12, 4, 3, 0.5, nil, simrand.New(3))
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("%s: placement depends on more than the seed", topo)
 		}
@@ -49,13 +49,13 @@ func TestPlaceTagsDeterministic(t *testing.T) {
 }
 
 func TestPlaceTagsRejectsBadInput(t *testing.T) {
-	if _, err := PlaceTags("mesh", 4, 5, 0, 0, simrand.New(1)); err == nil {
+	if _, err := PlaceTags("mesh", 4, 5, 0, 0, nil, simrand.New(1)); err == nil {
 		t.Fatal("unknown topology accepted")
 	}
-	if _, err := PlaceTags(TopologyGrid, 0, 5, 0, 0, simrand.New(1)); err == nil {
+	if _, err := PlaceTags(TopologyGrid, 0, 5, 0, 0, nil, simrand.New(1)); err == nil {
 		t.Fatal("zero tags accepted")
 	}
-	if _, err := PlaceTags(TopologyGrid, 4, -1, 0, 0, simrand.New(1)); err == nil {
+	if _, err := PlaceTags(TopologyGrid, 4, -1, 0, 0, nil, simrand.New(1)); err == nil {
 		t.Fatal("negative radius accepted")
 	}
 }

@@ -1,0 +1,147 @@
+package netsim
+
+// Property tests for the round-end energy settlement and the
+// cell-level metrics: invariants that must hold for every scenario and
+// seed, checked through the engine's round probe rather than any one
+// golden value.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// propScenarios is a spread of engine configurations covering closed
+// and open loop, every scheduling mode, mobility, and rho = 1 (the
+// harshest reflection split).
+func propScenarios() []Scenario {
+	return []Scenario{
+		{Tags: 12, Topology: TopologyUniformDisc, RadiusM: 8,
+			OfferedLoad: 0.5, MaxRounds: 60, Rho: 1},
+		{Tags: 9, Topology: TopologyGrid, RadiusM: 25, OfferedLoad: 1.5,
+			MaxRounds: 80, CapacitanceF: 1e-6, TxEnergyJ: 2e-6},
+		{Tags: 16, Topology: TopologyCells, RadiusM: 10, ClusterSpreadM: 2,
+			Readers:      ReaderSpec{Count: 4, Placement: ReaderGrid, SpacingM: 8},
+			FramesPerTag: 6, MaxRounds: 80},
+		{Tags: 10, Topology: TopologyCells, RadiusM: 12, ClusterSpreadM: 2,
+			Readers:     ReaderSpec{Count: 2, Placement: ReaderLine, SpacingM: 14, Scheduling: SchedulingTDM},
+			OfferedLoad: 0.4, MaxRounds: 96, Rho: 1,
+			Mobility: MobilitySpec{Model: MobilityWaypoint, StepM: 2, EpochRounds: 3}},
+	}
+}
+
+func TestEnergySettlementInvariants(t *testing.T) {
+	for si, sc := range propScenarios() {
+		for seed := uint64(1); seed <= 4; seed++ {
+			var probeErr error
+			prevAlive := make([]bool, sc.Tags)
+			for i := range prevAlive {
+				prevAlive[i] = true
+			}
+			probe := func(round int, dt float64, tags []tagNode, harvestW []float64) {
+				if probeErr != nil {
+					return
+				}
+				if dt <= 0 {
+					probeErr = fmt.Errorf("round %d settled over non-positive dt %g", round, dt)
+					return
+				}
+				for i := range tags {
+					// A tag transmits at most once per round inside its
+					// reader's window, and the wall clock is the longest
+					// active window: transmit time can never exceed it.
+					if tags[i].txDt > dt+1e-12 {
+						probeErr = fmt.Errorf("round %d tag %d: txDt %g exceeds round dt %g", round, i, tags[i].txDt, dt)
+						return
+					}
+					// The rho/2 Manchester-duty reflection loss removes at
+					// most half the incident power even at rho = 1: the
+					// harvest input stays physical.
+					if harvestW[i] < 0 {
+						probeErr = fmt.Errorf("round %d tag %d: negative harvest power %g", round, i, harvestW[i])
+						return
+					}
+					// Brown-out death is latched: once a tag dies it stays
+					// dead for the rest of the run.
+					if !prevAlive[i] && tags[i].alive {
+						probeErr = fmt.Errorf("round %d tag %d: revived after brown-out", round, i)
+						return
+					}
+					prevAlive[i] = tags[i].alive
+				}
+			}
+			if _, err := run(sc, seed, probe); err != nil {
+				t.Fatalf("scenario %d seed %d: %v", si, seed, err)
+			}
+			if probeErr != nil {
+				t.Fatalf("scenario %d seed %d: %v", si, seed, probeErr)
+			}
+		}
+	}
+}
+
+func TestMetricBoundsAcrossSeeds(t *testing.T) {
+	for si, sc := range propScenarios() {
+		for seed := uint64(1); seed <= 4; seed++ {
+			res, err := Run(sc, seed)
+			if err != nil {
+				t.Fatalf("scenario %d seed %d: %v", si, seed, err)
+			}
+			ctx := fmt.Sprintf("scenario %d seed %d", si, seed)
+			if d := res.DeliveryRate(); d < 0 || d > 1 {
+				t.Fatalf("%s: delivery rate %g outside [0, 1]", ctx, d)
+			}
+			n := float64(len(res.Tags))
+			if f := res.FairnessIndex(); f != 0 && (f < 1/n-1e-12 || f > 1+1e-12) {
+				t.Fatalf("%s: fairness %g outside {0} union [1/N, 1]", ctx, f)
+			}
+			if res.FramesDelivered > res.FramesOffered {
+				t.Fatalf("%s: delivered %d exceeds offered %d", ctx, res.FramesDelivered, res.FramesOffered)
+			}
+			for _, tag := range res.Tags {
+				if tag.OutageFraction < 0 || tag.OutageFraction > 1 {
+					t.Fatalf("%s tag %d: outage %g outside [0, 1]", ctx, tag.ID, tag.OutageFraction)
+				}
+				if tag.LifetimeS < 0 || tag.LifetimeS > res.SimulatedS+1e-9 {
+					t.Fatalf("%s tag %d: lifetime %g outside [0, %g]", ctx, tag.ID, tag.LifetimeS, res.SimulatedS)
+				}
+				if tag.Alive && tag.LifetimeS != res.SimulatedS {
+					t.Fatalf("%s tag %d: survivor lifetime %g != horizon %g", ctx, tag.ID, tag.LifetimeS, res.SimulatedS)
+				}
+			}
+		}
+	}
+}
+
+func TestMetricEdgeCases(t *testing.T) {
+	var empty NetResult
+	if empty.FairnessIndex() != 0 || empty.DeliveryRate() != 0 || empty.Throughput() != 0 ||
+		empty.CollisionFraction() != 0 || empty.AliveFraction() != 0 ||
+		empty.MeanLifetimeS() != 0 || empty.MeanSNRdB() != 0 {
+		t.Fatal("zero-value NetResult must report zero for every metric")
+	}
+
+	// No delivery at all: fairness is 0 (no service to be fair about),
+	// not NaN and not 1.
+	starved := NetResult{Tags: []TagStats{{}, {}, {}}, FramesOffered: 9}
+	if f := starved.FairnessIndex(); f != 0 {
+		t.Fatalf("all-zero delivery fairness = %g, want 0", f)
+	}
+	if d := starved.DeliveryRate(); d != 0 {
+		t.Fatalf("all-zero delivery rate = %g, want 0", d)
+	}
+
+	single := NetResult{Tags: []TagStats{{FramesDelivered: 7}}}
+	if f := single.FairnessIndex(); f != 1 {
+		t.Fatalf("single-tag fairness = %g, want 1", f)
+	}
+
+	equal := NetResult{Tags: []TagStats{{FramesDelivered: 3}, {FramesDelivered: 3}, {FramesDelivered: 3}, {FramesDelivered: 3}}}
+	if f := equal.FairnessIndex(); f < 1-1e-12 || f > 1+1e-12 {
+		t.Fatalf("equal-service fairness = %g, want 1", f)
+	}
+
+	hog := NetResult{Tags: []TagStats{{FramesDelivered: 12}, {}, {}, {}}}
+	if f := hog.FairnessIndex(); f < 0.25-1e-12 || f > 0.25+1e-12 {
+		t.Fatalf("one-tag-takes-all fairness = %g, want 1/4", f)
+	}
+}

@@ -23,7 +23,7 @@ type Scenario struct {
 	// Tags is the tag population size (default 8).
 	Tags int `json:"tags"`
 	// Topology is one of TopologyGrid, TopologyUniformDisc,
-	// TopologyClustered (default grid).
+	// TopologyClustered, TopologyCells (default grid).
 	Topology string `json:"topology"`
 	// RadiusM is the deployment radius/half-extent in metres (default 4).
 	RadiusM float64 `json:"radius_m"`
@@ -31,8 +31,19 @@ type Scenario struct {
 	// (default 3).
 	Clusters int `json:"clusters"`
 	// ClusterSpreadM is the Gaussian spread around each cluster centre
-	// (default RadiusM/8).
+	// — or around each reader for TopologyCells (default RadiusM/8).
 	ClusterSpreadM float64 `json:"cluster_spread_m"`
+
+	// Readers configures the reader population: count, placement, and
+	// whether concurrently active readers share the spectrum by TDM or
+	// on imperfectly isolated independent channels. The zero value is
+	// one reader at the origin. Tags associate with the strongest
+	// carrier, re-evaluated each epoch under mobility.
+	Readers ReaderSpec `json:"readers"`
+
+	// Mobility configures optional tag motion (seeded random-waypoint
+	// drift). The zero value is a static deployment.
+	Mobility MobilitySpec `json:"mobility"`
 
 	// RF plant.
 
@@ -48,7 +59,11 @@ type Scenario struct {
 	// Rho is the tag reflection coefficient (default 0.3).
 	Rho float64 `json:"rho"`
 	// ReqSNRdB is the forward SNR at which chunk loss is 50% (logistic
-	// cliff, default 10 dB — the 1x rate of the adaptation rate table).
+	// cliff). Zero selects the default of DefaultReqSNRdB (10 dB, the
+	// 1x rate of the adaptation rate table); to configure a genuine
+	// 0 dB cliff set any value at or below ReqSNRZero (-999), which
+	// ApplyDefaults maps to exactly 0. Other values must pass the
+	// Validate bounds ([-30, 60] dB).
 	ReqSNRdB float64 `json:"req_snr_db"`
 	// FeedbackSamplesPerBit sizes the feedback averaging window used to
 	// derive each tag's feedback BER from its geometry (default 100).
@@ -64,11 +79,16 @@ type Scenario struct {
 	OfferedLoad float64 `json:"offered_load"`
 	// MaxRounds bounds the simulation (default 64).
 	MaxRounds int `json:"max_rounds"`
-	// ContentionWindow is the slot count of each inventory round
-	// (default 2 * Tags, the framed-slotted-ALOHA optimum scale).
+	// ContentionWindow is the per-reader slot count of each inventory
+	// round (default 2 * ceil(Tags / Readers.Count), the
+	// framed-slotted-ALOHA optimum scale for the tags one reader
+	// serves).
 	ContentionWindow int `json:"contention_window"`
 	// QueueCap bounds each tag's frame queue under open-loop traffic
-	// (default 16); arrivals beyond it are dropped and counted.
+	// (default 16); arrivals beyond it are dropped and counted. In
+	// closed-loop runs it is raised to at least FramesPerTag so the
+	// preload fits and undelivered frames re-queue instead of being
+	// spuriously dropped.
 	QueueCap int `json:"queue_cap"`
 
 	// MAC dimensions (shared by every tag).
@@ -113,6 +133,17 @@ type Scenario struct {
 	StartVoltageV float64 `json:"start_voltage_v"`
 }
 
+// Chunk-loss cliff sentinels (see Scenario.ReqSNRdB).
+const (
+	// DefaultReqSNRdB is the cliff used when ReqSNRdB is left zero.
+	DefaultReqSNRdB = 10
+	// ReqSNRZero requests a genuine 0 dB cliff: the Go zero value has
+	// to keep meaning "default" (every existing literal and JSON file
+	// relies on it), so an explicit out-of-band sentinel — any value
+	// at or below -999 — stands in for exact zero.
+	ReqSNRZero = -1000
+)
+
 // ApplyDefaults fills zero fields in place with the documented defaults.
 func (s *Scenario) ApplyDefaults() {
 	if s.Name == "" {
@@ -133,6 +164,8 @@ func (s *Scenario) ApplyDefaults() {
 	if s.ClusterSpreadM <= 0 {
 		s.ClusterSpreadM = s.RadiusM / 8
 	}
+	s.Readers.applyDefaults(s.RadiusM)
+	s.Mobility.applyDefaults(s.RadiusM)
 	if s.FreqHz <= 0 {
 		s.FreqHz = 915e6
 	}
@@ -148,8 +181,11 @@ func (s *Scenario) ApplyDefaults() {
 	if s.Rho <= 0 {
 		s.Rho = 0.3
 	}
-	if s.ReqSNRdB == 0 {
-		s.ReqSNRdB = 10
+	switch {
+	case s.ReqSNRdB <= -999:
+		s.ReqSNRdB = 0 // the ReqSNRZero sentinel: a genuine 0 dB cliff
+	case s.ReqSNRdB == 0:
+		s.ReqSNRdB = DefaultReqSNRdB
 	}
 	if s.FeedbackSamplesPerBit <= 0 {
 		s.FeedbackSamplesPerBit = 100
@@ -161,10 +197,17 @@ func (s *Scenario) ApplyDefaults() {
 		s.MaxRounds = 64
 	}
 	if s.ContentionWindow <= 0 {
-		s.ContentionWindow = 2 * s.Tags
+		perReader := (s.Tags + s.Readers.Count - 1) / s.Readers.Count
+		s.ContentionWindow = 2 * perReader
 	}
 	if s.QueueCap <= 0 {
 		s.QueueCap = 16
+	}
+	// Closed-loop preload must fit the queue: with QueueCap below
+	// FramesPerTag, frames undelivered after MaxAttempts would find the
+	// queue "full" at re-queue time and be dropped instead of retried.
+	if s.OfferedLoad == 0 && s.QueueCap < s.FramesPerTag {
+		s.QueueCap = s.FramesPerTag
 	}
 	if s.Protocol == "" {
 		s.Protocol = "full-duplex"
@@ -211,7 +254,7 @@ func (s *Scenario) ApplyDefaults() {
 // problem found.
 func (s Scenario) Validate() error {
 	switch s.Topology {
-	case TopologyGrid, TopologyUniformDisc, TopologyClustered:
+	case TopologyGrid, TopologyUniformDisc, TopologyClustered, TopologyCells:
 	default:
 		return fmt.Errorf("netsim: unknown topology %q", s.Topology)
 	}
@@ -219,6 +262,12 @@ func (s Scenario) Validate() error {
 	case "full-duplex", "stop-and-wait", "block-ack":
 	default:
 		return fmt.Errorf("netsim: unknown protocol %q (want full-duplex, stop-and-wait or block-ack)", s.Protocol)
+	}
+	if err := s.Readers.validate(); err != nil {
+		return err
+	}
+	if err := s.Mobility.validate(); err != nil {
+		return err
 	}
 	if s.Rho < 0 || s.Rho > 1 {
 		return fmt.Errorf("netsim: rho %g outside [0, 1]", s.Rho)
@@ -231,6 +280,15 @@ func (s Scenario) Validate() error {
 	}
 	if s.AbortThreshold < 0 {
 		return fmt.Errorf("netsim: abort threshold %d must be non-negative", s.AbortThreshold)
+	}
+	if s.ReqSNRdB < -30 || s.ReqSNRdB > 60 {
+		return fmt.Errorf("netsim: required SNR cliff %g dB outside [-30, 60] (0 takes the default, <= -999 requests a genuine 0 dB cliff)", s.ReqSNRdB)
+	}
+	if s.PathLossExp < 1 || s.PathLossExp > 8 {
+		return fmt.Errorf("netsim: path loss exponent %g outside [1, 8]", s.PathLossExp)
+	}
+	if s.FeedbackSamplesPerBit < 2 || s.FeedbackSamplesPerBit > 1<<20 {
+		return fmt.Errorf("netsim: feedback samples per bit %d outside [2, %d]", s.FeedbackSamplesPerBit, 1<<20)
 	}
 	return nil
 }
@@ -252,6 +310,16 @@ var presets = map[string]Scenario{
 	"sparse-field": {
 		Name: "sparse-field", Tags: 12, Topology: TopologyUniformDisc, RadiusM: 12,
 		TxPowerW: 0.5, FramesPerTag: 2, MaxRounds: 128,
+	},
+	"mall-cells": {
+		Name: "mall-cells", Tags: 64, Topology: TopologyCells, RadiusM: 14,
+		ClusterSpreadM: 3, FramesPerTag: 6, MaxRounds: 96,
+		Readers: ReaderSpec{Count: 4, Placement: ReaderGrid, SpacingM: 12},
+	},
+	"mobile-fleet": {
+		Name: "mobile-fleet", Tags: 24, Topology: TopologyUniformDisc, RadiusM: 30,
+		TxPowerW: 0.25, CapacitanceF: 10e-6, OfferedLoad: 0.3, MaxRounds: 160,
+		Mobility: MobilitySpec{Model: MobilityWaypoint, StepM: 1.5, EpochRounds: 4},
 	},
 }
 

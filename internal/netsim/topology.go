@@ -21,6 +21,11 @@ const (
 	// scatters tags around them with a Gaussian spread — pallets of
 	// tagged goods.
 	TopologyClustered = "clustered"
+	// TopologyCells scatters tags around the reader positions
+	// round-robin with a Gaussian spread (ClusterSpreadM) — the
+	// multi-reader analogue of clustered, one pallet field per cell.
+	// It requires at least one anchor (the scenario's readers).
+	TopologyCells = "cells"
 )
 
 // Position is a tag location in metres, reader at the origin.
@@ -34,12 +39,17 @@ func (p Position) Distance() float64 { return math.Hypot(p.X, p.Y) }
 // PlaceTags returns n deterministic positions for the named topology.
 // Randomised topologies draw only from src, so a fixed seed fixes the
 // layout. The grid topology is fully deterministic and ignores src.
-func PlaceTags(topology string, n int, radiusM float64, clusters int, spreadM float64, src *simrand.Source) ([]Position, error) {
+// anchors supplies the reader positions for TopologyCells; the other
+// topologies ignore it.
+func PlaceTags(topology string, n int, radiusM float64, clusters int, spreadM float64, anchors []Position, src *simrand.Source) ([]Position, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("netsim: tag count %d must be positive", n)
 	}
 	if radiusM <= 0 {
 		return nil, fmt.Errorf("netsim: radius %g must be positive", radiusM)
+	}
+	if spreadM <= 0 {
+		spreadM = radiusM / 8
 	}
 	switch topology {
 	case TopologyGrid:
@@ -50,13 +60,15 @@ func PlaceTags(topology string, n int, radiusM float64, clusters int, spreadM fl
 		if clusters <= 0 {
 			clusters = 3
 		}
-		if spreadM <= 0 {
-			spreadM = radiusM / 8
-		}
 		return placeClustered(n, radiusM, clusters, spreadM, src), nil
+	case TopologyCells:
+		if len(anchors) == 0 {
+			return nil, fmt.Errorf("netsim: topology %q needs at least one reader anchor", TopologyCells)
+		}
+		return placeAnchored(n, anchors, spreadM, src), nil
 	default:
-		return nil, fmt.Errorf("netsim: unknown topology %q (want %s, %s or %s)",
-			topology, TopologyGrid, TopologyUniformDisc, TopologyClustered)
+		return nil, fmt.Errorf("netsim: unknown topology %q (want %s, %s, %s or %s)",
+			topology, TopologyGrid, TopologyUniformDisc, TopologyClustered, TopologyCells)
 	}
 }
 
@@ -105,6 +117,22 @@ func placeClustered(n int, r float64, clusters int, spread float64, src *simrand
 			p.Y *= scale
 		}
 		out[i] = p
+	}
+	return out
+}
+
+// placeAnchored scatters tags round-robin around fixed anchor points
+// (reader positions) with a Gaussian spread. Unlike placeClustered the
+// centres are not random, so the deployment mirrors the reader cells
+// exactly.
+func placeAnchored(n int, anchors []Position, spread float64, src *simrand.Source) []Position {
+	out := make([]Position, n)
+	for i := range out {
+		c := anchors[i%len(anchors)]
+		out[i] = Position{
+			X: c.X + src.Gaussian(0, spread),
+			Y: c.Y + src.Gaussian(0, spread),
+		}
 	}
 	return out
 }

@@ -17,18 +17,28 @@ import (
 // goroutine its own Source (use Split).
 type Source struct {
 	rng *rand.Rand
+	pcg *rand.PCG
 }
 
 // New returns a Source seeded deterministically from seed.
 func New(seed uint64) *Source {
-	return &Source{rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &Source{rng: rand.New(pcg), pcg: pcg}
+}
+
+// Reseed resets the source to the state New(seed) would produce, without
+// allocating. Hot loops that need a fresh deterministic stream per item
+// (e.g. one per frame) can keep one Source and reseed it.
+func (s *Source) Reseed(seed uint64) {
+	s.pcg.Seed(seed, seed^0x9e3779b97f4a7c15)
 }
 
 // Split derives an independent child source. The child's stream is a
 // deterministic function of the parent state, so seeding the parent fixes
 // the whole tree.
 func (s *Source) Split() *Source {
-	return &Source{rng: rand.New(rand.NewPCG(s.rng.Uint64(), s.rng.Uint64()))}
+	pcg := rand.NewPCG(s.rng.Uint64(), s.rng.Uint64())
+	return &Source{rng: rand.New(pcg), pcg: pcg}
 }
 
 // Float64 returns a uniform value in [0, 1).
