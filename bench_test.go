@@ -139,3 +139,26 @@ func BenchmarkFacadeExperimentList(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLinkTransferFrameInto measures the steady-state Monte-Carlo
+// hot path the experiment harness actually runs: one reused link, one
+// recycled result, zero allocations per frame (enforced by
+// TestTransferFrameIntoAllocFree in internal/core).
+func BenchmarkLinkTransferFrameInto(b *testing.B) {
+	l, err := core.NewLink(core.LinkConfig{
+		Modem: phy.OOK{SamplesPerChip: 4}, ChunkSize: 32, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 256)
+	var res core.TransferResult
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.TransferFrameInto(payload, core.TransferOptions{PadChips: 8}, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,43 +9,42 @@
 //	fdbench -run fig6 -seed 7     # different random seed
 //	fdbench -run fig1 -parallel 1 # force serial (output is identical)
 //	fdbench -run all -quick -timingjson BENCH_quick.json
+//	fdbench -run all -quick -compare BENCH_baseline.json
+//	fdbench -run fig1 -cpuprofile cpu.prof -memprofile mem.prof
 //
 // Experiments run their parameter cells on a worker pool; -parallel
 // sets the pool size (0 = all CPUs). Output is byte-identical at any
 // worker count for the same seed. -timingjson additionally writes
 // per-experiment wall-clock timings to a JSON file, so CI can persist
 // the perf trajectory as an artifact without polluting stdout.
+// -compare checks the run's timings against a baseline report and
+// exits non-zero on a regression beyond the default gate (>2x and
+// >50 ms absolute); the comparison goes to stderr so the table output
+// stays byte-identical. -cpuprofile/-memprofile write pprof profiles
+// so hotspots can be localised without editing code.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/perf"
 )
 
-// timingReport is the -timingjson schema: enough context to compare
-// runs across commits (the CI artifact embeds the commit in its name).
-type timingReport struct {
-	Seed        uint64          `json:"seed"`
-	Quick       bool            `json:"quick"`
-	Parallel    int             `json:"parallel"`
-	GoVersion   string          `json:"go_version"`
-	GOMAXPROCS  int             `json:"gomaxprocs"`
-	Experiments []experimentRow `json:"experiments"`
-	TotalMs     float64         `json:"total_ms"`
-}
-
-type experimentRow struct {
-	ID string  `json:"id"`
-	Ms float64 `json:"ms"`
-}
-
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole command so the CPU profile (and any other
+// cleanup) flushes on every exit path; os.Exit skips deferred calls,
+// which would leave -cpuprofile truncated exactly when -compare
+// detects a regression.
+func run() int {
 	var (
 		list       = flag.Bool("list", false, "list experiments and exit")
 		run        = flag.String("run", "", "experiment id to run, or 'all'")
@@ -54,6 +53,9 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced trial counts")
 		parallel   = flag.Int("parallel", 0, "worker goroutines per experiment (0 = all CPUs, 1 = serial)")
 		timingJSON = flag.String("timingjson", "", "write per-experiment wall-clock timings to this JSON file")
+		compare    = flag.String("compare", "", "compare timings against this baseline JSON; exit 2 on regression")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
@@ -65,7 +67,7 @@ func main() {
 		if *run == "" && !*list {
 			fmt.Println("\nrun one with: fdbench -run <id>   (or -run all)")
 		}
-		return
+		return 0
 	}
 
 	var targets []bench.Experiment
@@ -75,9 +77,22 @@ func main() {
 		e, err := bench.ByID(*run)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		targets = []bench.Experiment{e}
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	workers := *parallel
@@ -85,7 +100,7 @@ func main() {
 		workers = bench.AutoWorkers()
 	}
 	cfg := bench.RunConfig{Seed: *seed, Quick: *quick, Workers: workers}
-	report := timingReport{
+	report := &perf.Report{
 		Seed: *seed, Quick: *quick, Parallel: workers,
 		GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
@@ -96,7 +111,7 @@ func main() {
 		start := time.Now()
 		res := e.Run(cfg)
 		elapsed := time.Since(start)
-		report.Experiments = append(report.Experiments, experimentRow{
+		report.Experiments = append(report.Experiments, perf.Timing{
 			ID: e.ID, Ms: float64(elapsed.Microseconds()) / 1e3,
 		})
 		report.TotalMs += float64(elapsed.Microseconds()) / 1e3
@@ -109,17 +124,50 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *timingJSON != "" {
-		data, err := json.MarshalIndent(report, "", "  ")
-		if err == nil {
-			err = os.WriteFile(*timingJSON, append(data, '\n'), 0o644)
-		}
-		if err != nil {
+		if err := report.Write(*timingJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		f.Close()
+	}
+	if *compare != "" {
+		base, err := perf.Load(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		regs := perf.DefaultGate.Regressions(report, base)
+		for _, d := range perf.Compare(report, base) {
+			fmt.Fprintf(os.Stderr, "perf: %-16s %8.1f ms -> %8.1f ms (%.2fx)\n",
+				d.ID, d.BaselineMs, d.CurrentMs, d.Ratio)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "perf: %d experiment(s) regressed beyond %.1fx vs %s:\n",
+				len(regs), perf.DefaultGate.MaxRatio, *compare)
+			for _, d := range regs {
+				fmt.Fprintf(os.Stderr, "perf:   %s: %.1f ms -> %.1f ms (%.2fx)\n",
+					d.ID, d.BaselineMs, d.CurrentMs, d.Ratio)
+			}
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "perf: no regressions beyond %.1fx vs %s\n",
+			perf.DefaultGate.MaxRatio, *compare)
+	}
+	return 0
 }

@@ -8,15 +8,17 @@ import (
 	"repro/internal/feedback"
 	"repro/internal/reader"
 	"repro/internal/sigproc"
-	"repro/internal/simrand"
 	"repro/internal/trace"
 )
 
 // feedbackChannelBER measures the feedback-channel BER at the reader for
 // a monostatic link: idle carrier transmitted, tag Manchester-toggling
 // its reflection, reader normalising by its own envelope. Returns the
-// empirical BER over nBits plus the analytic prediction.
-func feedbackChannelBER(distM, rho, txPowerW, noiseW float64, samplesPerBit, nBits int, seed uint64) (empirical, analytic float64) {
+// empirical BER over nBits plus the analytic prediction. All scratch
+// (reader, carrier blocks, state patterns, random source) comes from
+// the worker's arena; every piece is reset per call, so the result is a
+// pure function of the arguments.
+func feedbackChannelBER(a *Arena, distM, rho, txPowerW, noiseW float64, samplesPerBit, nBits int, seed uint64) (empirical, analytic float64) {
 	pl := channel.NewLogDistance(915e6, 2.5)
 	g := pl.Gain(distM)
 	fwdAmp := math.Sqrt(g)
@@ -24,30 +26,32 @@ func feedbackChannelBER(distM, rho, txPowerW, noiseW float64, samplesPerBit, nBi
 	leakAmp := math.Sqrt(0.01) // -20 dB isolation
 	txAmp := math.Sqrt(txPowerW)
 
-	rd, err := reader.New(reader.Config{})
+	rd, err := a.Reader(reader.Config{})
 	if err != nil {
 		panic(err)
 	}
-	src := simrand.New(seed)
+	src := a.Rand(seed)
 	cfg := feedback.Config{SamplesPerBit: samplesPerBit, Code: feedback.CodeManchester}
 
-	tx := sigproc.NewIQ(samplesPerBit).Fill(complex(txAmp, 0))
-	rx := sigproc.NewIQ(samplesPerBit)
+	tx, rx := a.IQPair(samplesPerBit)
+	tx.Fill(complex(txAmp, 0))
 	reflAmp := fwdAmp * math.Sqrt(rho) * bwdAmp
+	// The carrier is constant, so the two per-sample receive levels are
+	// constants too (bit-identical to multiplying per sample).
+	leakV := complex(leakAmp, 0) * complex(txAmp, 0)
+	reflV := leakV + complex(reflAmp, 0)*complex(txAmp, 0)
+	states0, states1 := a.BitStates(cfg)
+	base0, base1 := a.BasePair(samplesPerBit)
+	fillBase(base0, states0, leakV, reflV)
+	fillBase(base1, states1, leakV, reflV)
 
 	errs := 0
-	var bitBuf [1]byte
-	states := make([]byte, 0, samplesPerBit)
 	for i := 0; i < nBits; i++ {
 		bit := src.Bit()
-		bitBuf[0] = bit
-		states = cfg.AppendStates(states[:0], bitBuf[:])
-		for j := range rx {
-			v := complex(leakAmp, 0) * tx[j]
-			if states[j] == feedback.StateReflect {
-				v += complex(reflAmp, 0) * tx[j]
-			}
-			rx[j] = v
+		if bit == 1 {
+			copy(rx, base1)
+		} else {
+			copy(rx, base0)
 		}
 		src.FillNoise(rx, noiseW)
 		got, _ := rd.DecodeFeedbackBit(rx, tx)
@@ -65,6 +69,20 @@ func feedbackChannelBER(distM, rho, txPowerW, noiseW float64, samplesPerBit, nBi
 	return float64(errs) / float64(nBits), analytic
 }
 
+// fillBase renders the noiseless receive block for one feedback bit
+// pattern: the leak level where the tag absorbs, leak plus reflection
+// where it reflects. Hoisting this out of the bit loop is bit-exact —
+// the per-sample values are the same two constants either way.
+func fillBase(dst sigproc.IQ, states []byte, leakV, reflV complex128) {
+	for j := range dst {
+		if states[j] == feedback.StateReflect {
+			dst[j] = reflV
+		} else {
+			dst[j] = leakV
+		}
+	}
+}
+
 func init() {
 	register(Experiment{
 		ID:    "fig1",
@@ -75,15 +93,31 @@ func init() {
 			nBits := cfg.trials(20000)
 			const fs = 1e6
 			cs := cfg.cells()
-			for _, spb := range []int{10, 100, 1000} { // 100k / 10k / 1 kbps
-				for _, d := range []float64{0.5, 1, 2, 3, 4, 6, 8} {
-					seed := subSeed(cfg.Seed, "fig1", uint64(spb), fbits(d))
-					cs.add(func() row {
-						ber, ana := feedbackChannelBER(d, 0.3, 0.1, 1e-9, spb, nBits, seed)
-						return row{d, fs / float64(spb) / 1000, ber, ana}
-					})
+			type cell struct {
+				spb  int
+				d    float64
+				seed uint64
+			}
+			spbs := []int{10, 100, 1000} // 100k / 10k / 1 kbps
+			dists := []float64{0.5, 1, 2, 3, 4, 6, 8}
+			maxSpb := spbs[len(spbs)-1]
+			cells := make([]cell, 0, len(spbs)*len(dists))
+			for _, spb := range spbs {
+				for _, d := range dists {
+					cells = append(cells, cell{spb, d, subSeed(cfg.Seed, "fig1", uint64(spb), fbits(d))})
 				}
 			}
+			cs.addBatch(len(cells), func(a *Arena, i int) row {
+				// Size every buffer for the largest bit period up front;
+				// cells arrive in growing-spb order, and stepwise growth
+				// would otherwise re-allocate at each size boundary.
+				if err := a.PrewarmFeedback(reader.Config{}, maxSpb); err != nil {
+					panic(err)
+				}
+				c := cells[i]
+				ber, ana := feedbackChannelBER(a, c.d, 0.3, 0.1, 1e-9, c.spb, nBits, c.seed)
+				return a.Row(trace.F(c.d), trace.F(fs/float64(c.spb)/1000), trace.F(ber), trace.F(ana))
+			})
 			cs.flushTo(tbl)
 			return &Result{ID: "fig1", Title: tbl.Title, Table: tbl,
 				Shape: "BER rises with distance and falls with averaging: the 1 kbps feedback decodes metres farther than 100 kbps at equal BER."}
@@ -100,9 +134,9 @@ func init() {
 			cs := cfg.cells()
 			for _, rho := range []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9} {
 				seed := subSeed(cfg.Seed, "fig2", fbits(rho))
-				cs.add(func() row {
-					ber, ana := feedbackChannelBER(3, rho, 0.1, 1e-9, 100, nBits, seed)
-					return row{rho, ber, ana}
+				cs.add(func(a *Arena) row {
+					ber, ana := feedbackChannelBER(a, 3, rho, 0.1, 1e-9, 100, nBits, seed)
+					return a.Row(trace.F(rho), trace.F(ber), trace.F(ana))
 				})
 			}
 			cs.flushTo(tbl)
@@ -125,17 +159,17 @@ func init() {
 			cs := cfg.cells()
 			for _, rho := range []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9} {
 				seed := subSeed(cfg.Seed, "tab2", fbits(rho))
-				cs.add(func() row {
+				cs.add(func(a *Arena) row {
 					// Feedback duty is ~50% (Manchester): average harvestable
 					// power = incident*(1 - rho/2).
 					_, harvestable := energy.SplitIncident(incident, rho/2)
 					out := h.OutputPower(harvestable)
-					ber, _ := feedbackChannelBER(d, rho, txW, 1e-9, 100, nBits, seed)
+					ber, _ := feedbackChannelBER(a, d, rho, txW, 1e-9, 100, nBits, seed)
 					outage := "no"
 					if out < 1e-6 {
 						outage = "yes"
 					}
-					return row{rho, incident * 1e6, out * 1e6, ber, outage}
+					return a.Row(trace.F(rho), trace.F(incident*1e6), trace.F(out*1e6), trace.F(ber), trace.S(outage))
 				})
 			}
 			cs.flushTo(tbl)
@@ -155,9 +189,9 @@ func init() {
 			for _, mode := range []reader.SIMode{reader.SINormalize, reader.SISubtract} {
 				for _, errPct := range []float64{0, 5, 20} {
 					seed := subSeed(cfg.Seed, "abl-sinorm", uint64(mode), fbits(errPct))
-					cs.add(func() row {
-						ber := siModeBER(mode, errPct/100, nBits, seed)
-						return row{mode.String(), errPct, ber}
+					cs.add(func(a *Arena) row {
+						ber := siModeBER(a, mode, errPct/100, nBits, seed)
+						return a.Row(trace.S(mode.String()), trace.F(errPct), trace.F(ber))
 					})
 				}
 			}
@@ -178,9 +212,9 @@ func init() {
 			for _, code := range []feedback.Code{feedback.CodeManchester, feedback.CodeNRZ} {
 				for _, ns := range []float64{0.5, 1, 2} {
 					seed := subSeed(cfg.Seed, "abl-fbcode", uint64(code), fbits(ns))
-					cs.add(func() row {
-						ber := fbCodeBER(code, ns*2e-6, nBits, seed)
-						return row{code.String(), ns, ber}
+					cs.add(func(a *Arena) row {
+						ber := fbCodeBER(a, code, ns*2e-6, nBits, seed)
+						return a.Row(trace.S(code.String()), trace.F(ns), trace.F(ber))
 					})
 				}
 			}
@@ -193,38 +227,36 @@ func init() {
 
 // siModeBER measures feedback BER with a given SI strategy and a
 // multiplicative leak-calibration error.
-func siModeBER(mode reader.SIMode, leakErr float64, nBits int, seed uint64) float64 {
-	rd, err := reader.New(reader.Config{SI: mode})
+func siModeBER(a *Arena, mode reader.SIMode, leakErr float64, nBits int, seed uint64) float64 {
+	rd, err := a.Reader(reader.Config{SI: mode})
 	if err != nil {
 		panic(err)
 	}
-	src := simrand.New(seed)
+	src := a.Rand(seed)
 	const spb = 100
 	cfg := feedback.Config{SamplesPerBit: spb, Code: feedback.CodeManchester}
 	txAmp := math.Sqrt(0.1)
 	leakAmp := math.Sqrt(0.01)
 	const reflAmp = 0.002
-	tx := sigproc.NewIQ(spb).Fill(complex(txAmp, 0))
+	tx, rx := a.IQPair(spb)
+	tx.Fill(complex(txAmp, 0))
 	// Calibrate with a deliberately wrong leak estimate.
-	rxCal := sigproc.NewIQ(spb)
-	for i := range rxCal {
-		rxCal[i] = complex(leakAmp*(1+leakErr), 0) * tx[i]
-	}
-	rd.Calibrate(rxCal, tx)
-	rx := sigproc.NewIQ(spb)
+	calV := complex(leakAmp*(1+leakErr), 0) * complex(txAmp, 0)
+	rx.Fill(calV)
+	rd.Calibrate(rx, tx)
+	leakV := complex(leakAmp, 0) * complex(txAmp, 0)
+	reflV := leakV + complex(reflAmp, 0)*complex(txAmp, 0)
+	states0, states1 := a.BitStates(cfg)
+	base0, base1 := a.BasePair(spb)
+	fillBase(base0, states0, leakV, reflV)
+	fillBase(base1, states1, leakV, reflV)
 	errs := 0
-	var bitBuf [1]byte
-	states := make([]byte, 0, spb)
 	for i := 0; i < nBits; i++ {
 		bit := src.Bit()
-		bitBuf[0] = bit
-		states = cfg.AppendStates(states[:0], bitBuf[:])
-		for j := range rx {
-			v := complex(leakAmp, 0) * tx[j]
-			if states[j] == feedback.StateReflect {
-				v += complex(reflAmp, 0) * tx[j]
-			}
-			rx[j] = v
+		if bit == 1 {
+			copy(rx, base1)
+		} else {
+			copy(rx, base0)
 		}
 		src.FillNoise(rx, 2e-6)
 		got, _ := rd.DecodeFeedbackBit(rx, tx)
@@ -236,32 +268,32 @@ func siModeBER(mode reader.SIMode, leakErr float64, nBits int, seed uint64) floa
 }
 
 // fbCodeBER measures feedback BER for a code at a noise level.
-func fbCodeBER(code feedback.Code, noiseW float64, nBits int, seed uint64) float64 {
-	rd, err := reader.New(reader.Config{FeedbackCode: code})
+func fbCodeBER(a *Arena, code feedback.Code, noiseW float64, nBits int, seed uint64) float64 {
+	rd, err := a.Reader(reader.Config{FeedbackCode: code})
 	if err != nil {
 		panic(err)
 	}
-	src := simrand.New(seed)
+	src := a.Rand(seed)
 	const spb = 100
 	cfg := feedback.Config{SamplesPerBit: spb, Code: code}
 	txAmp := math.Sqrt(0.1)
 	leakAmp := math.Sqrt(0.01)
 	const reflAmp = 0.002
-	tx := sigproc.NewIQ(spb).Fill(complex(txAmp, 0))
-	rx := sigproc.NewIQ(spb)
+	tx, rx := a.IQPair(spb)
+	tx.Fill(complex(txAmp, 0))
+	leakV := complex(leakAmp, 0) * complex(txAmp, 0)
+	reflV := leakV + complex(reflAmp, 0)*complex(txAmp, 0)
+	states0, states1 := a.BitStates(cfg)
+	base0, base1 := a.BasePair(spb)
+	fillBase(base0, states0, leakV, reflV)
+	fillBase(base1, states1, leakV, reflV)
 	errs := 0
-	var bitBuf [1]byte
-	states := make([]byte, 0, spb)
 	for i := 0; i < nBits; i++ {
 		bit := src.Bit()
-		bitBuf[0] = bit
-		states = cfg.AppendStates(states[:0], bitBuf[:])
-		for j := range rx {
-			v := complex(leakAmp, 0) * tx[j]
-			if states[j] == feedback.StateReflect {
-				v += complex(reflAmp, 0) * tx[j]
-			}
-			rx[j] = v
+		if bit == 1 {
+			copy(rx, base1)
+		} else {
+			copy(rx, base0)
 		}
 		src.FillNoise(rx, noiseW)
 		got, _ := rd.DecodeFeedbackBit(rx, tx)

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/phy"
-	"repro/internal/simrand"
 	"repro/internal/trace"
 )
 
@@ -19,20 +18,26 @@ type linkStats struct {
 	samplesUsed, booked int64
 }
 
-func runLinkTrials(cfg core.LinkConfig, frames, payloadBytes int, opts core.TransferOptions, seed uint64) linkStats {
-	l, err := core.NewLink(cfg)
+// runLinkTrials reuses the arena's link (reconfigured to cfg, which is
+// behaviourally a fresh core.NewLink) and its recycled TransferResult,
+// so the trial loop is allocation-free at steady state. The payload
+// stream draws from the arena source reseeded to its own seed — the
+// link consumes randomness from its separate internal source, so the
+// two streams stay exactly as decorrelated as before.
+func runLinkTrials(a *Arena, cfg core.LinkConfig, frames, payloadBytes int, opts core.TransferOptions, seed uint64) linkStats {
+	l, err := a.Link(cfg)
 	if err != nil {
 		panic(err)
 	}
-	src := simrand.New(seed)
-	payload := make([]byte, payloadBytes)
+	src := a.Rand(seed)
+	payload := a.Payload(payloadBytes)
+	res := &a.linkRes
 	var st linkStats
 	for f := 0; f < frames; f++ {
 		for i := range payload {
 			payload[i] = byte(src.IntN(256))
 		}
-		res, err := l.TransferFrame(payload, opts)
-		if err != nil {
+		if err := l.TransferFrameInto(payload, opts, res); err != nil {
 			panic(err)
 		}
 		st.frames++
@@ -80,7 +85,7 @@ func init() {
 				// Same payload stream for the on and off arms, so the
 				// comparison isolates the feedback reflection.
 				paySeed := subSeed(cfg.Seed, "fig3-payload", fbits(rho))
-				cs.add(func() row {
+				cs.add(func(a *Arena) row {
 					base := core.LinkConfig{
 						Modem: phy.OOK{SamplesPerChip: 4, Depth: 0.5},
 						// Push the tag towards its sensitivity so the rho
@@ -88,9 +93,9 @@ func init() {
 						DistanceM: 4, TagNoiseW: 4e-9, ChunkSize: 32,
 						Rho: rho, Seed: linkSeed,
 					}
-					on := runLinkTrials(base, frames, 256, core.TransferOptions{PadChips: -1}, paySeed)
-					off := runLinkTrials(base, frames, 256, core.TransferOptions{PadChips: -1, DisableFeedback: true}, paySeed)
-					return row{rho, on.fwdBER(), off.fwdBER()}
+					on := runLinkTrials(a, base, frames, 256, core.TransferOptions{PadChips: -1}, paySeed)
+					off := runLinkTrials(a, base, frames, 256, core.TransferOptions{PadChips: -1, DisableFeedback: true}, paySeed)
+					return a.Row(trace.F(rho), trace.F(on.fwdBER()), trace.F(off.fwdBER()))
 				})
 			}
 			cs.flushTo(tbl)
@@ -110,15 +115,15 @@ func init() {
 			for _, noise := range []float64{1e-10, 1e-9, 1e-8, 1e-7, 4e-7, 1e-6} {
 				linkSeed := subSeed(cfg.Seed, "fig7-link", fbits(noise))
 				paySeed := subSeed(cfg.Seed, "fig7-payload", fbits(noise))
-				cs.add(func() row {
+				cs.add(func(a *Arena) row {
 					lcfg := core.LinkConfig{
 						Modem:     phy.OOK{SamplesPerChip: 4, Depth: 0.75},
 						DistanceM: 3, TagNoiseW: noise, ReaderNoiseW: noise,
 						ChunkSize: 32, Seed: linkSeed,
 					}
-					st := runLinkTrials(lcfg, frames, 192, core.TransferOptions{PadChips: -1}, paySeed)
-					return row{dbm(noise), float64(st.delivered) / float64(st.frames),
-						st.fwdBER(), st.fbBER(), st.acquireFails}
+					st := runLinkTrials(a, lcfg, frames, 192, core.TransferOptions{PadChips: -1}, paySeed)
+					return a.Row(trace.F(dbm(noise)), trace.F(float64(st.delivered)/float64(st.frames)),
+						trace.F(st.fwdBER()), trace.F(st.fbBER()), trace.I(st.acquireFails))
 				})
 			}
 			cs.flushTo(tbl)

@@ -20,7 +20,7 @@ func init() {
 				swSeed := subSeed(cfg.Seed, "fig4-sw", fbits(p))
 				baSeed := subSeed(cfg.Seed, "fig4-ba", fbits(p))
 				fdSeed := subSeed(cfg.Seed, "fig4-fd", fbits(p))
-				cs.add(func() row {
+				cs.add(func(a *Arena) row {
 					sw := (&mac.StopAndWait{P: params}).Run(frames, mac.NewIIDLoss(p, simrand.New(swSeed)))
 					ba := (&mac.BlockACK{P: params}).Run(frames, mac.NewIIDLoss(p, simrand.New(baSeed)))
 					fd := (&mac.FullDuplex{P: params, Seed: fdSeed}).Run(frames, mac.NewIIDLoss(p, simrand.New(fdSeed)))
@@ -28,7 +28,7 @@ func init() {
 					if sw.Efficiency() > 0 {
 						gain = fd.Efficiency() / sw.Efficiency()
 					}
-					return row{p, sw.Efficiency(), ba.Efficiency(), fd.Efficiency(), gain}
+					return a.RowV(p, sw.Efficiency(), ba.Efficiency(), fd.Efficiency(), gain)
 				})
 			}
 			cs.flushTo(tbl)
@@ -52,7 +52,7 @@ func init() {
 				swSeed := subSeed(cfg.Seed, "fig5-sw", fbits(start))
 				fdNSeed := subSeed(cfg.Seed, "fig5-fdn", fbits(start))
 				fdASeed := subSeed(cfg.Seed, "fig5-fda", fbits(start))
-				cs.add(func() row {
+				cs.add(func(a *Arena) row {
 					mk := func(seed uint64) mac.Loss {
 						return mac.NewBurstLoss(simrand.New(seed), start, 20, 1, 0.005)
 					}
@@ -60,7 +60,7 @@ func init() {
 					sw := (&mac.StopAndWait{P: params}).Run(frames, mk(swSeed))
 					fdN := (&mac.FullDuplex{P: noAbort, Seed: fdNSeed}).Run(frames, mk(fdNSeed))
 					fdA := (&mac.FullDuplex{P: params, Seed: fdASeed}).Run(frames, mk(fdASeed))
-					return row{duty, sw.WastedFraction(), fdN.WastedFraction(), fdA.WastedFraction()}
+					return a.RowV(duty, sw.WastedFraction(), fdN.WastedFraction(), fdA.WastedFraction())
 				})
 			}
 			cs.flushTo(tbl)
@@ -80,7 +80,7 @@ func init() {
 			for _, cb := range []int{32, 64, 128, 256} {
 				fdSeed := subSeed(cfg.Seed, "tab1-fd", uint64(cb))
 				swSeed := subSeed(cfg.Seed, "tab1-sw", uint64(cb))
-				cs.add(func() row {
+				cs.add(func(a *Arena) row {
 					params := mac.Params{PayloadBytes: 1500, ChunkBytes: cb}
 					fd := (&mac.FullDuplex{P: params, Seed: fdSeed}).Run(frames, mac.NewIIDLoss(0.05, simrand.New(fdSeed)))
 					sw := (&mac.StopAndWait{P: params}).Run(frames, mac.NewIIDLoss(0.05, simrand.New(swSeed)))
@@ -88,8 +88,8 @@ func init() {
 					if fd.MeanFeedbackDelayChunks() > 0 {
 						sp = sw.MeanFeedbackDelayChunks() / fd.MeanFeedbackDelayChunks()
 					}
-					return row{cb, params.NumChunks(), fd.MeanFeedbackDelayChunks(),
-						sw.MeanFeedbackDelayChunks(), sp}
+					return a.RowV(cb, params.NumChunks(), fd.MeanFeedbackDelayChunks(),
+						sw.MeanFeedbackDelayChunks(), sp)
 				})
 			}
 			cs.flushTo(tbl)
@@ -114,13 +114,13 @@ func init() {
 			for _, cb := range []int{8, 16, 32, 64, 128, 256, 512} {
 				loSeed := subSeed(cfg.Seed, "abl-chunk-lo", uint64(cb))
 				hiSeed := subSeed(cfg.Seed, "abl-chunk-hi", uint64(cb))
-				cs.add(func() row {
+				cs.add(func(a *Arena) row {
 					params := mac.Params{PayloadBytes: 1500, ChunkBytes: cb}
 					lo := (&mac.FullDuplex{P: params, Seed: loSeed}).Run(frames,
 						mac.NewIIDLoss(chunkLoss(2e-4, cb+1), simrand.New(loSeed)))
 					hi := (&mac.FullDuplex{P: params, Seed: hiSeed}).Run(frames,
 						mac.NewIIDLoss(chunkLoss(3e-3, cb+1), simrand.New(hiSeed)))
-					return row{cb, lo.Efficiency(), hi.Efficiency()}
+					return a.RowV(cb, lo.Efficiency(), hi.Efficiency())
 				})
 			}
 			cs.flushTo(tbl)
@@ -139,12 +139,12 @@ func init() {
 			cs := cfg.cells()
 			for _, th := range []int{1, 2, 4, 8, 1 << 20} {
 				seed := subSeed(cfg.Seed, "abl-threshold", uint64(th))
-				cs.add(func() row {
+				cs.add(func(a *Arena) row {
 					params := mac.Params{PayloadBytes: 1500, ChunkBytes: 64,
 						AbortThreshold: th, BackoffChunks: 24}
 					loss := mac.NewBurstLoss(simrand.New(seed), 0.01, 20, 1, 0.01)
 					r := (&mac.FullDuplex{P: params, Seed: seed}).Run(frames, loss)
-					return row{th, r.WastedFraction(), r.Throughput()}
+					return a.RowV(th, r.WastedFraction(), r.Throughput())
 				})
 			}
 			cs.flushTo(tbl)

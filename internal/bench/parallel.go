@@ -21,32 +21,67 @@ import (
 // CLIs) resolves to: the number of usable CPUs.
 func AutoWorkers() int { return runtime.GOMAXPROCS(0) }
 
-// row is one computed table row, in trace.Table.AddRow cell order.
-type row []interface{}
+// row is one computed table row as typed trace cells, in column order.
+type row = []trace.Cell
 
 // cellFunc computes one independent cell (one table row) of an
-// experiment. It must not touch state shared with other cells.
-type cellFunc func() row
+// experiment. It must not touch state shared with other cells; the
+// arena it receives is owned by the calling worker and may be reused
+// freely.
+type cellFunc func(a *Arena) row
+
+// cellEntry is one queued cell: either a standalone closure or one
+// index of a batch sharing a single function (addBatch), which avoids
+// a closure allocation per parameter point.
+type cellEntry struct {
+	fn    cellFunc
+	batch func(a *Arena, i int) row
+	i     int
+}
+
+func (c cellEntry) run(a *Arena) row {
+	if c.batch != nil {
+		return c.batch(a, c.i)
+	}
+	return c.fn(a)
+}
 
 // cellSet queues an experiment's independent cells and executes them
-// across a worker pool, emitting rows in submission order.
+// across a worker pool, emitting rows in submission order. Each worker
+// owns one scratch Arena for the whole run.
 type cellSet struct {
 	workers int
-	cells   []cellFunc
+	cells   []cellEntry
 }
 
 // cells returns a cellSet honouring cfg.Workers.
 func (c RunConfig) cells() *cellSet { return &cellSet{workers: c.Workers} }
 
 // add queues one cell.
-func (s *cellSet) add(fn cellFunc) { s.cells = append(s.cells, fn) }
+func (s *cellSet) add(fn cellFunc) { s.cells = append(s.cells, cellEntry{fn: fn}) }
+
+// addBatch queues n cells computed by one shared function of the cell
+// index. Use it when an experiment's parameter points live in a slice:
+// one closure serves the whole sweep.
+func (s *cellSet) addBatch(n int, fn func(a *Arena, i int) row) {
+	if cap(s.cells)-len(s.cells) < n {
+		grown := make([]cellEntry, len(s.cells), len(s.cells)+n)
+		copy(grown, s.cells)
+		s.cells = grown
+	}
+	for i := 0; i < n; i++ {
+		s.cells = append(s.cells, cellEntry{batch: fn, i: i})
+	}
+}
 
 // flushTo runs every queued cell and appends one row per cell to tbl,
 // in the order the cells were added, then empties the queue so the set
 // can be reused for a further batch.
 func (s *cellSet) flushTo(tbl *trace.Table) {
-	for _, r := range s.run() {
-		tbl.AddRow(r...)
+	rows := s.run()
+	tbl.Grow(len(rows))
+	for _, r := range rows {
+		tbl.AddCells(r)
 	}
 	s.cells = s.cells[:0]
 }
@@ -54,7 +89,10 @@ func (s *cellSet) flushTo(tbl *trace.Table) {
 // run executes the queued cells with the configured parallelism and
 // returns their rows indexed by submission position. Workers claim
 // cells from a shared counter, so uneven cell costs balance across the
-// pool; results land in out[i] regardless of completion order.
+// pool; results land in out[i] regardless of completion order. Every
+// worker carries its own Arena; cells reset whatever arena state they
+// borrow, so results never depend on which worker (or in which order)
+// ran a cell — the byte-identical-output guarantee is unchanged.
 func (s *cellSet) run() []row {
 	out := make([]row, len(s.cells))
 	workers := s.workers
@@ -62,8 +100,9 @@ func (s *cellSet) run() []row {
 		workers = len(s.cells)
 	}
 	if workers <= 1 {
+		a := newArena()
 		for i, c := range s.cells {
-			out[i] = c()
+			out[i] = c.run(a)
 		}
 		return out
 	}
@@ -73,12 +112,13 @@ func (s *cellSet) run() []row {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			a := newArena()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(s.cells) {
 					return
 				}
-				out[i] = s.cells[i]()
+				out[i] = s.cells[i].run(a)
 			}
 		}()
 	}

@@ -74,7 +74,7 @@ func TestCellSetPreservesOrder(t *testing.T) {
 		cs := &cellSet{workers: workers}
 		const n = 100
 		for i := 0; i < n; i++ {
-			cs.add(func() row { return row{i} })
+			cs.add(func(a *Arena) row { return a.RowV(i) })
 		}
 		tbl := trace.NewTable("order", "i")
 		cs.flushTo(tbl)
@@ -96,9 +96,9 @@ func TestCellSetPreservesOrder(t *testing.T) {
 func TestCellSetReuse(t *testing.T) {
 	cs := &cellSet{workers: 4}
 	tbl := trace.NewTable("reuse", "v")
-	cs.add(func() row { return row{"a"} })
+	cs.add(func(a *Arena) row { return a.RowV("a") })
 	cs.flushTo(tbl)
-	cs.add(func() row { return row{"b"} })
+	cs.add(func(a *Arena) row { return a.RowV("b") })
 	cs.flushTo(tbl)
 	rows := tbl.Rows()
 	if len(rows) != 2 || rows[0][0] != "a" || rows[1][0] != "b" {

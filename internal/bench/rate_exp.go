@@ -17,7 +17,7 @@ func init() {
 			cs := cfg.cells()
 			for _, snr := range []float64{4, 8, 12, 16, 20} {
 				seed := subSeed(cfg.Seed, "fig6", fbits(snr))
-				cs.add(func() row {
+				cs.add(func(a *Arena) row {
 					// Average a few seeds: fading traces are high-variance.
 					var fd, arf, slow, fast float64
 					const seeds = 3
@@ -31,7 +31,7 @@ func init() {
 						slow += rateadapt.RunTrace(c, &rateadapt.Fixed{Index: 0, RateName: "0.25x"}, chunks).ThroughputBytesPerTime()
 						fast += rateadapt.RunTrace(c, &rateadapt.Fixed{Index: n - 1, RateName: "2x"}, chunks).ThroughputBytesPerTime()
 					}
-					return row{snr, fd / seeds, arf / seeds, slow / seeds, fast / seeds}
+					return a.RowV(snr, fd/seeds, arf/seeds, slow/seeds, fast/seeds)
 				})
 			}
 			cs.flushTo(tbl)

@@ -36,7 +36,7 @@ func init() {
 			for _, n := range []int{2, 4, 8, 16, 32, 48} {
 				fdSeed := subSeed(cfg.Seed, "scen-density-fd", uint64(n))
 				swSeed := subSeed(cfg.Seed, "scen-density-sw", uint64(n))
-				cs.add(func() row {
+				cs.add(func(a *Arena) row {
 					sc := netsim.Scenario{
 						Name: "density", Tags: n, Topology: netsim.TopologyGrid,
 						RadiusM: 3, FramesPerTag: frames, ContentionWindow: 16,
@@ -46,8 +46,8 @@ func init() {
 					sw := sc
 					sw.Protocol = "stop-and-wait"
 					hw := mustRun(sw, swSeed)
-					return row{n, fd.Throughput(), hw.Throughput(),
-						fd.DeliveryRate(), fd.CollisionFraction(), fd.FairnessIndex()}
+					return a.RowV(n, fd.Throughput(), hw.Throughput(),
+						fd.DeliveryRate(), fd.CollisionFraction(), fd.FairnessIndex())
 				})
 			}
 			cs.flushTo(tbl)
@@ -66,7 +66,7 @@ func init() {
 			cs := cfg.cells()
 			for _, r := range []float64{2, 5, 10, 20, 40, 60} {
 				seed := subSeed(cfg.Seed, "scen-range", fbits(r))
-				cs.add(func() row {
+				cs.add(func(a *Arena) row {
 					sc := netsim.Scenario{
 						Name: "range", Tags: 12, Topology: netsim.TopologyUniformDisc,
 						RadiusM: r, FramesPerTag: 4, MaxRounds: rounds,
@@ -77,7 +77,7 @@ func init() {
 						outage += t.OutageFraction
 					}
 					outage /= float64(len(res.Tags))
-					return row{r, res.MeanSNRdB(), res.DeliveryRate(), res.Throughput(), outage}
+					return a.RowV(r, res.MeanSNRdB(), res.DeliveryRate(), res.Throughput(), outage)
 				})
 			}
 			cs.flushTo(tbl)
@@ -97,7 +97,7 @@ func init() {
 			for _, n := range []int{1, 2, 4, 8} {
 				iSeed := subSeed(cfg.Seed, "scen-multireader-indep", uint64(n))
 				tSeed := subSeed(cfg.Seed, "scen-multireader-tdm", uint64(n))
-				cs.add(func() row {
+				cs.add(func(a *Arena) row {
 					sc := netsim.Scenario{
 						Name: "multireader", Tags: 48, Topology: netsim.TopologyUniformDisc,
 						RadiusM: 12, FramesPerTag: 4, MaxRounds: rounds,
@@ -107,9 +107,9 @@ func init() {
 					td := sc
 					td.Readers.Scheduling = netsim.SchedulingTDM
 					tdm := mustRun(td, tSeed)
-					return row{n, indep.Throughput(), tdm.Throughput(),
+					return a.RowV(n, indep.Throughput(), tdm.Throughput(),
 						indep.MeanSNRdB(), tdm.MeanSNRdB(),
-						indep.DeliveryRate(), indep.FairnessIndex()}
+						indep.DeliveryRate(), indep.FairnessIndex())
 				})
 			}
 			cs.flushTo(tbl)
@@ -128,7 +128,7 @@ func init() {
 			cs := cfg.cells()
 			for _, step := range []float64{0, 0.5, 1, 2, 4, 8} {
 				seed := subSeed(cfg.Seed, "scen-mobility", fbits(step))
-				cs.add(func() row {
+				cs.add(func(a *Arena) row {
 					sc := netsim.Scenario{
 						Name: "mobility", Tags: 16, Topology: netsim.TopologyUniformDisc,
 						RadiusM: 40, OfferedLoad: 0.4, MaxRounds: rounds,
@@ -139,8 +139,8 @@ func init() {
 						}
 					}
 					res := mustRun(sc, seed)
-					return row{step, res.DeliveryRate(), res.Throughput(),
-						res.FairnessIndex(), res.MeanSNRdB(), res.AliveFraction()}
+					return a.RowV(step, res.DeliveryRate(), res.Throughput(),
+						res.FairnessIndex(), res.MeanSNRdB(), res.AliveFraction())
 				})
 			}
 			cs.flushTo(tbl)
@@ -159,7 +159,7 @@ func init() {
 			cs := cfg.cells()
 			for _, load := range []float64{0.05, 0.1, 0.25, 0.5, 1, 2} {
 				seed := subSeed(cfg.Seed, "scen-energy", fbits(load))
-				cs.add(func() row {
+				cs.add(func(a *Arena) row {
 					sc := netsim.Scenario{
 						Name: "energy", Tags: 16, Topology: netsim.TopologyClustered,
 						RadiusM: 6, Clusters: 4, OfferedLoad: load, MaxRounds: rounds,
@@ -169,8 +169,8 @@ func init() {
 					if res.SimulatedS > 0 {
 						lifeFrac = res.MeanLifetimeS() / res.SimulatedS
 					}
-					return row{load, res.AliveFraction(), lifeFrac,
-						res.FramesDelivered, res.FramesDropped}
+					return a.RowV(load, res.AliveFraction(), lifeFrac,
+						res.FramesDelivered, res.FramesDropped)
 				})
 			}
 			cs.flushTo(tbl)

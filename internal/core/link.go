@@ -139,29 +139,81 @@ type Link struct {
 
 	seq uint8
 
-	// Scratch buffers.
+	// Scratch buffers reused across frames so the steady-state
+	// TransferFrameInto path allocates nothing.
 	incident, reflected, rdRx, intBlock sigproc.IQ
+	wireBuf                             []byte
+	truthBits                           []byte
+	idleStates                          []byte
+	interfPlan                          []bool
+	rawBits                             []byte
+	rawMargins                          []float64
 }
 
 // NewLink builds a link from the configuration.
 func NewLink(cfg LinkConfig) (*Link, error) {
-	cfg.applyDefaults()
-	rd, err := reader.New(reader.Config{
-		Modem: cfg.Modem, Code: cfg.Code, SI: cfg.SI, FeedbackCode: cfg.FeedbackCode,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: reader: %w", err)
+	l := &Link{src: simrand.New(cfg.Seed)}
+	if err := l.Reconfigure(cfg); err != nil {
+		return nil, err
 	}
-	tg, err := tag.New(tag.Config{
+	return l, nil
+}
+
+// Reconfigure re-initialises the link in place for a new configuration,
+// reusing the waveform-sized scratch buffers (and the random source)
+// of the old one. The resulting link behaves exactly like
+// NewLink(cfg); experiment harnesses use it to run many parameter
+// points through one link instead of reconstructing the buffers per
+// cell.
+func (l *Link) Reconfigure(cfg LinkConfig) error {
+	cfg.applyDefaults()
+	rdCfg := reader.Config{
+		Modem: cfg.Modem, Code: cfg.Code, SI: cfg.SI, FeedbackCode: cfg.FeedbackCode,
+	}
+	tgCfg := tag.Config{
 		Modem: cfg.Modem, Code: cfg.Code, Rho: cfg.Rho,
 		DetectorCutoffHz: cfg.DetectorCutoffHz, SampleRate: cfg.SampleRate,
 		Harvester: cfg.Harvester, Capacitor: cfg.Capacitor, CircuitW: cfg.CircuitW,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: tag: %w", err)
 	}
-	l := &Link{cfg: cfg, rd: rd, tg: tg, src: simrand.New(cfg.Seed)}
+	if l.rd == nil {
+		l.rd = &reader.Reader{}
+	}
+	if err := l.rd.Reconfigure(rdCfg); err != nil {
+		return fmt.Errorf("core: reader: %w", err)
+	}
+	if l.tg == nil {
+		l.tg = &tag.Tag{}
+	}
+	if err := l.tg.Reconfigure(tgCfg); err != nil {
+		return fmt.Errorf("core: tag: %w", err)
+	}
+	l.cfg = cfg
+	l.seq = 0
+	l.src.Reseed(cfg.Seed)
+	l.buildPaths()
+	return nil
+}
 
+// Reset rewinds the link to the state NewLink would produce with the
+// given seed, without reconstructing the reader, tag, or any scratch:
+// the random stream restarts, faders and paths are re-derived in the
+// construction order (so their Split children match a fresh build), the
+// tag's capacitor recharges, and the frame sequence returns to zero.
+func (l *Link) Reset(seed uint64) {
+	l.cfg.Seed = seed
+	l.seq = 0
+	l.src.Reseed(seed)
+	l.buildPaths()
+	l.rd.Reset()
+	l.tg.Reset()
+}
+
+// buildPaths derives the propagation paths and their faders from the
+// configuration. Fader construction order matters: each fader Splits
+// the link source, so the sequence below is part of the link's
+// deterministic seeding contract.
+func (l *Link) buildPaths() {
+	cfg := &l.cfg
 	gain := cfg.PathLoss.Gain(cfg.DistanceM)
 	mkFader := func() channel.Fader {
 		switch cfg.Fading {
@@ -178,11 +230,11 @@ func NewLink(cfg LinkConfig) (*Link, error) {
 	l.fwd = &channel.Path{Gain: gain, Fader: mkFader()}
 	l.bwd = &channel.Path{Gain: gain, Fader: mkFader()}
 	l.leak = &channel.Path{Gain: cfg.SelfLeakGain}
+	l.intTag, l.intRd = nil, nil
 	if ic := cfg.Interferer; ic != nil {
 		l.intTag = &channel.Path{Gain: cfg.PathLoss.Gain(ic.DistanceToTagM), Fader: mkFader()}
 		l.intRd = &channel.Path{Gain: cfg.PathLoss.Gain(ic.DistanceToReaderM), Fader: mkFader()}
 	}
-	return l, nil
 }
 
 // Tag exposes the link's tag (for energy inspection in experiments).
@@ -276,16 +328,34 @@ func (r *TransferResult) GoodputBytes() int {
 }
 
 // TransferFrame runs one complete frame exchange through the waveform
-// pipeline and returns the detailed result.
+// pipeline and returns the detailed result. Monte-Carlo loops should
+// prefer TransferFrameInto with a reused result, which keeps the
+// steady-state frame path allocation-free.
 func (l *Link) TransferFrame(payload []byte, opts TransferOptions) (*TransferResult, error) {
+	res := &TransferResult{}
+	if err := l.TransferFrameInto(payload, opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TransferFrameInto runs one complete frame exchange through the
+// waveform pipeline, writing the detailed result into res. All of
+// res's previous contents are overwritten; its Chunks and Payload
+// storage is reused, so a result recycled across trials makes the
+// steady-state frame exchange allocation-free (see the allocation
+// budget test in link_test.go). On error res is left in an undefined
+// state.
+func (l *Link) TransferFrameInto(payload []byte, opts TransferOptions, res *TransferResult) error {
 	cfg := &l.cfg
 	hdr := phy.Header{
 		Type: phy.FrameData, Seq: l.seq, ChunkSize: cfg.ChunkSize,
 	}
 	l.seq++
-	wire, err := phy.BuildFrame(hdr, payload, nil)
+	wire, err := phy.BuildFrame(hdr, payload, l.wireBuf[:0])
+	l.wireBuf = wire
 	if err != nil {
-		return nil, err
+		return err
 	}
 	hdr.Version = phy.ProtocolVersion
 	hdr.PayloadLen = uint16(len(payload))
@@ -296,12 +366,15 @@ func (l *Link) TransferFrame(payload []byte, opts TransferOptions) (*TransferRes
 	}
 	wave, layout, err := l.rd.BuildWaveform(wire, hdr, pad)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	// Scale to transmit power: high chip amplitude = sqrt(TxPowerW).
 	wave.ScaleReal(sigproc.AmplitudeForPower(cfg.TxPowerW) / cfg.Modem.LevelHigh())
 
-	res := &TransferResult{Header: hdr, SamplesFull: layout.FlushEnd}
+	*res = TransferResult{
+		Header: hdr, SamplesFull: layout.FlushEnd,
+		Chunks: res.Chunks[:0], Payload: res.Payload[:0],
+	}
 	l.tg.SetMute(opts.DisableFeedback)
 	e0 := l.tg.StoredEnergy()
 	margin := l.tg.MarginSamples()
@@ -318,8 +391,9 @@ func (l *Link) TransferFrame(payload []byte, opts TransferOptions) (*TransferRes
 	// Reader calibrates its leakage estimate on the idle pad (tag is
 	// absorbing there).
 	if layout.PadLen > 0 {
+		l.idleStates = feedback.AppendIdleStates(l.idleStates[:0], layout.PadLen)
 		l.rdRx = l.receiverBlock(wave[:layout.PadLen], incident[:layout.PadLen],
-			feedback.AppendIdleStates(nil, layout.PadLen), false, l.rdRx)
+			l.idleStates, false, l.rdRx)
 		l.rd.Calibrate(l.rdRx, wave[:layout.PadLen])
 	}
 	if !acq.OK {
@@ -329,20 +403,31 @@ func (l *Link) TransferFrame(payload []byte, opts TransferOptions) (*TransferRes
 		res.HarvestedJ = l.tg.StoredEnergy() - e0
 		res.ForwardBits = len(payload) * 8
 		res.ForwardBitErrors = len(payload) * 8
-		return res, nil
+		return nil
 	}
 
 	// --- Chunk blocks ---
 	n := hdr.NumChunks()
-	truthBits := make([]byte, 0, n+1)
-	truthBits = append(truthBits, 1) // header ACK
+	// A corrupted header can slip past its CRC-8 and decode to a
+	// different chunk count at the tag; the tag then stops listening
+	// after its own count while the reader keeps transmitting. Guard
+	// the loop so those extra chunks are processed reader-side only.
+	tagN := l.tg.ChunksExpected()
+	truthBits := append(l.truthBits[:0], 1) // header ACK
 	for i := 0; i < n; i++ {
 		s, e := layout.ChunkBlock(i)
 		blockLen := e - s
 		viewEnd := minInt(e+margin, len(wave))
 		interfered := interferedChunks[i]
 		incident := l.propagateToTag(wave[s:viewEnd], i+1, interfered)
-		states := l.tg.ProcessChunk(incident, blockLen, cfg.SampleRate)
+		var states []byte
+		if i < tagN {
+			states = l.tg.ProcessChunk(incident, blockLen, cfg.SampleRate)
+		} else {
+			// Tag believes the frame already ended: it absorbs quietly.
+			l.idleStates = feedback.AppendIdleStates(l.idleStates[:0], blockLen)
+			states = l.idleStates
+		}
 
 		// Reader receives leak + reflected (+ interference) and decodes
 		// the feedback bit for the previous chunk (or header ACK).
@@ -368,9 +453,9 @@ func (l *Link) TransferFrame(payload []byte, opts TransferOptions) (*TransferRes
 				res.HeaderAckOK = bit == 1
 			}
 		}
-		tagOKs := l.tg.ChunkResults()
+		tagOKs := l.tg.ChunkResultsView()
 		truth := byte(0)
-		if tagOKs[i] {
+		if i < len(tagOKs) && tagOKs[i] {
 			truth = 1
 		}
 		truthBits = append(truthBits, truth)
@@ -382,6 +467,7 @@ func (l *Link) TransferFrame(payload []byte, opts TransferOptions) (*TransferRes
 			break
 		}
 	}
+	l.truthBits = truthBits
 
 	// --- Flush slot (skipped entirely on abort: the reader stops
 	// transmitting) ---
@@ -410,7 +496,7 @@ func (l *Link) TransferFrame(payload []byte, opts TransferOptions) (*TransferRes
 	l.remapFeedback(res, flushBit, flushMargin, flushSeen, opts)
 
 	// Ground-truth forward bit errors over transmitted chunks.
-	got := l.tg.Payload()
+	got := l.tg.PayloadView()
 	sent := 0
 	for i := range res.Chunks {
 		s, e := hdr.ChunkPayloadRange(i)
@@ -420,17 +506,18 @@ func (l *Link) TransferFrame(payload []byte, opts TransferOptions) (*TransferRes
 		}
 	}
 	res.ForwardBits = sent * 8
-	res.Payload = got
-	tagOKs := l.tg.ChunkResults()
+	res.Payload = append(res.Payload, got...)
+	tagOKs := l.tg.ChunkResultsView()
 	res.DeliveredOK = len(res.Chunks) == n
 	for i := range res.Chunks {
-		res.Chunks[i].TagOK = tagOKs[i]
-		if !tagOKs[i] {
+		ok := i < len(tagOKs) && tagOKs[i]
+		res.Chunks[i].TagOK = ok
+		if !ok {
 			res.DeliveredOK = false
 		}
 	}
 	res.HarvestedJ = l.tg.StoredEnergy() - e0
-	return res, nil
+	return nil
 }
 
 // remapFeedback aligns reader-decoded bits with the chunks they describe:
@@ -443,12 +530,13 @@ func (l *Link) remapFeedback(res *TransferResult, flushBit byte, flushMargin flo
 		}
 		return
 	}
-	raw := make([]byte, len(res.Chunks))
-	margins := make([]float64, len(res.Chunks))
-	for i, c := range res.Chunks {
-		raw[i] = c.ReaderBit
-		margins[i] = c.Margin
+	raw := l.rawBits[:0]
+	margins := l.rawMargins[:0]
+	for _, c := range res.Chunks {
+		raw = append(raw, c.ReaderBit)
+		margins = append(margins, c.Margin)
 	}
+	l.rawBits, l.rawMargins = raw, margins
 	for i := range res.Chunks {
 		switch {
 		case i+1 < len(raw):
@@ -532,8 +620,15 @@ func (l *Link) interfererWave(n int, dst sigproc.IQ) sigproc.IQ {
 }
 
 // planInterference decides which chunk blocks the interferer hits.
+// The returned plan aliases link scratch, valid until the next call.
 func (l *Link) planInterference(nChunks int) []bool {
-	out := make([]bool, nChunks)
+	if cap(l.interfPlan) < nChunks {
+		l.interfPlan = make([]bool, nChunks)
+	}
+	out := l.interfPlan[:nChunks]
+	for i := range out {
+		out[i] = false
+	}
 	ic := l.cfg.Interferer
 	if ic == nil || ic.DutyCycle <= 0 {
 		return out

@@ -1,0 +1,32 @@
+package netsim
+
+import "testing"
+
+// The engine's round loop must stay allocation-free at steady state —
+// the PR 3 property the link-layer allocation budget now mirrors.
+// Measuring "per round" directly is impossible from outside (setup
+// allocates), so compare whole runs that differ only in round count:
+// the extra rounds must contribute zero allocations.
+func TestRoundLoopAllocFree(t *testing.T) {
+	scenario := func(rounds int) Scenario {
+		return Scenario{
+			Name: "alloc-budget", Tags: 12, Topology: TopologyUniformDisc,
+			RadiusM: 10, OfferedLoad: 0.3, MaxRounds: rounds,
+			Readers: ReaderSpec{Count: 2, Placement: ReaderGrid, SpacingM: 10},
+		}
+	}
+	measure := func(rounds int) float64 {
+		sc := scenario(rounds)
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Run(sc, 7); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := measure(50)
+	long := measure(250)
+	if extra := long - short; extra != 0 {
+		t.Fatalf("200 extra rounds allocated %.1f objects (%.3f/round); the round loop must not allocate",
+			extra, extra/200)
+	}
+}

@@ -1,0 +1,139 @@
+// Package perf is the benchmark-regression subsystem: it loads the
+// per-experiment wall-clock reports cmd/fdbench emits (-timingjson),
+// compares a current run against a committed baseline, and gates on
+// regressions. The committed BENCH_baseline.json at the repository
+// root plus the CI perf job keep the harness's measured speed from
+// silently regressing — the perf counterpart of the determinism gate.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Timing is one experiment's wall-clock measurement.
+type Timing struct {
+	ID string  `json:"id"`
+	Ms float64 `json:"ms"`
+}
+
+// Report is the fdbench -timingjson schema: enough context to compare
+// runs across commits and machines.
+type Report struct {
+	Seed        uint64   `json:"seed"`
+	Quick       bool     `json:"quick"`
+	Parallel    int      `json:"parallel"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Experiments []Timing `json:"experiments"`
+	TotalMs     float64  `json:"total_ms"`
+}
+
+// Load reads a report from a JSON file.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Write stores the report as indented JSON.
+func (r *Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Timing returns the measurement for an experiment id.
+func (r *Report) Timing(id string) (ms float64, ok bool) {
+	for _, t := range r.Experiments {
+		if t.ID == id {
+			return t.Ms, true
+		}
+	}
+	return 0, false
+}
+
+// Delta is one experiment's baseline-to-current comparison.
+type Delta struct {
+	ID         string
+	BaselineMs float64
+	CurrentMs  float64
+	// Ratio is CurrentMs / BaselineMs (+Inf when the baseline is 0).
+	Ratio float64
+}
+
+// Compare matches the current report's experiments against the
+// baseline by id and returns one delta per match, sorted by
+// descending ratio. Experiments present on only one side are skipped:
+// a new experiment has no baseline to regress from, and a removed one
+// nothing to measure.
+func Compare(cur, base *Report) []Delta {
+	var out []Delta
+	for _, t := range cur.Experiments {
+		bms, ok := base.Timing(t.ID)
+		if !ok {
+			continue
+		}
+		d := Delta{ID: t.ID, BaselineMs: bms, CurrentMs: t.Ms}
+		if bms > 0 {
+			d.Ratio = t.Ms / bms
+		} else if t.Ms > 0 {
+			d.Ratio = math.Inf(1)
+		} else {
+			d.Ratio = 1
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ratio != out[j].Ratio {
+			return out[i].Ratio > out[j].Ratio
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Gate is a regression policy. The zero value is not useful; use
+// DefaultGate (the CI policy) or set the fields explicitly.
+type Gate struct {
+	// MaxRatio is the allowed current/baseline slowdown (e.g. 2 means
+	// "fail beyond 2x slower").
+	MaxRatio float64
+	// MinBaselineMs ignores experiments whose baseline is below this
+	// floor: sub-millisecond cells jitter by integer factors from
+	// scheduling noise alone and would make the gate flaky.
+	MinBaselineMs float64
+	// SlackMs additionally requires the absolute slowdown to exceed
+	// this many milliseconds, so a borderline cell on a slow CI runner
+	// does not trip the gate.
+	SlackMs float64
+}
+
+// DefaultGate is the CI policy: fail only on a >2x slowdown that also
+// costs more than 50 ms absolute, ignoring baselines under 5 ms.
+var DefaultGate = Gate{MaxRatio: 2, MinBaselineMs: 5, SlackMs: 50}
+
+// Regressions returns the deltas that violate the gate, worst first.
+func (g Gate) Regressions(cur, base *Report) []Delta {
+	var out []Delta
+	for _, d := range Compare(cur, base) {
+		if d.BaselineMs < g.MinBaselineMs {
+			continue
+		}
+		if d.Ratio > g.MaxRatio && d.CurrentMs-d.BaselineMs > g.SlackMs {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package perf
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func report(ts ...Timing) *Report {
+	r := &Report{Experiments: ts}
+	for _, t := range ts {
+		r.TotalMs += t.Ms
+	}
+	return r
+}
+
+func TestLoadWriteRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	want := report(Timing{ID: "fig1", Ms: 123.5}, Timing{ID: "fig4", Ms: 8})
+	want.Seed, want.Quick, want.Parallel = 1, true, 8
+	if err := want.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 1 || !got.Quick || got.Parallel != 8 || len(got.Experiments) != 2 {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+	if ms, ok := got.Timing("fig4"); !ok || ms != 8 {
+		t.Fatalf("Timing(fig4) = %v, %v", ms, ok)
+	}
+	if _, ok := got.Timing("nope"); ok {
+		t.Fatal("Timing must report missing ids")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("want error for malformed JSON")
+	}
+}
+
+func TestCompareSortsWorstFirst(t *testing.T) {
+	base := report(Timing{ID: "a", Ms: 100}, Timing{ID: "b", Ms: 100}, Timing{ID: "gone", Ms: 5})
+	cur := report(Timing{ID: "a", Ms: 150}, Timing{ID: "b", Ms: 400}, Timing{ID: "new", Ms: 9})
+	ds := Compare(cur, base)
+	if len(ds) != 2 {
+		t.Fatalf("got %d deltas, want 2 (unmatched ids skipped)", len(ds))
+	}
+	if ds[0].ID != "b" || ds[0].Ratio != 4 {
+		t.Fatalf("worst delta = %+v, want b at 4x", ds[0])
+	}
+	if ds[1].ID != "a" || ds[1].Ratio != 1.5 {
+		t.Fatalf("second delta = %+v, want a at 1.5x", ds[1])
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	ds := Compare(report(Timing{ID: "a", Ms: 3}), report(Timing{ID: "a", Ms: 0}))
+	if len(ds) != 1 || !math.IsInf(ds[0].Ratio, 1) {
+		t.Fatalf("zero baseline with nonzero current must be +Inf, got %+v", ds)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := report(
+		Timing{ID: "big-regressed", Ms: 100},
+		Timing{ID: "big-ok", Ms: 100},
+		Timing{ID: "tiny-regressed", Ms: 1},
+		Timing{ID: "borderline", Ms: 30},
+	)
+	cur := report(
+		Timing{ID: "big-regressed", Ms: 300},
+		Timing{ID: "big-ok", Ms: 150},
+		Timing{ID: "tiny-regressed", Ms: 10}, // 10x but under MinBaselineMs
+		Timing{ID: "borderline", Ms: 70},     // 2.3x but only +40ms, under SlackMs
+	)
+	regs := DefaultGate.Regressions(cur, base)
+	if len(regs) != 1 || regs[0].ID != "big-regressed" {
+		t.Fatalf("Regressions = %+v, want only big-regressed", regs)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

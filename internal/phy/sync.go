@@ -62,25 +62,51 @@ type SyncResult struct {
 	Corr float64
 }
 
-// DetectPreamble searches a received envelope for the preamble template
-// using normalised cross-correlation (amplitude-invariant, so it works at
-// any channel gain). minCorr sets the detection threshold; 0.7 is a
+// PreambleDetector is a reusable preamble correlator: the template's
+// normalised-correlation state is precomputed once and the correlation
+// scratch is reused across calls, so per-frame detection does not
+// allocate. One detector per receiver; not safe for concurrent use.
+type PreambleDetector struct {
+	tpl  []float64
+	m    *sigproc.Matcher
+	corr []float64
+}
+
+// NewPreambleDetector returns a detector for the given template
+// envelope (see PreambleTemplate). The template slice is retained.
+func NewPreambleDetector(template []float64) *PreambleDetector {
+	return &PreambleDetector{tpl: template, m: sigproc.NewMatcher(template)}
+}
+
+// Template returns the template envelope the detector was built with.
+func (d *PreambleDetector) Template() []float64 { return d.tpl }
+
+// Detect searches a received envelope for the preamble template using
+// normalised cross-correlation (amplitude-invariant, so it works at any
+// channel gain). minCorr sets the detection threshold; 0.7 is a
 // sensible default. The second return value reports whether a peak
 // exceeding minCorr was found.
-func DetectPreamble(env, template []float64, minCorr float64) (SyncResult, bool) {
-	if len(template) == 0 || len(env) < len(template) {
+func (d *PreambleDetector) Detect(env []float64, minCorr float64) (SyncResult, bool) {
+	if len(d.tpl) == 0 || len(env) < len(d.tpl) {
 		return SyncResult{}, false
 	}
-	corr := sigproc.NormalizedCorrelateReal(env, template, nil)
-	peak := sigproc.PeakIndex(corr)
-	if peak < 0 || corr[peak] < minCorr {
+	d.corr = d.m.Correlate(env, d.corr[:0])
+	peak := sigproc.PeakIndex(d.corr)
+	if peak < 0 || d.corr[peak] < minCorr {
 		return SyncResult{}, false
 	}
 	return SyncResult{
-		Start:     peak + len(template),
+		Start:     peak + len(d.tpl),
 		PeakIndex: peak,
-		Corr:      corr[peak],
+		Corr:      d.corr[peak],
 	}, true
+}
+
+// DetectPreamble is the one-shot form of PreambleDetector.Detect; it
+// re-derives the template state (and allocates) on every call, so
+// per-frame receivers should hold a detector instead.
+func DetectPreamble(env, template []float64, minCorr float64) (SyncResult, bool) {
+	return NewPreambleDetector(template).Detect(env, minCorr)
 }
 
 // EstimateChannelAmp estimates the channel amplitude gain from the

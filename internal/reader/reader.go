@@ -98,26 +98,71 @@ func (l Layout) FlushBlock() (int, int) {
 type Reader struct {
 	cfg  Config
 	code phy.LineCode
+	pre  []byte // preamble chips, fixed by the configuration
 
 	leakAmp float64 // SISubtract calibration
 
 	// Scratch buffers.
 	rxEnv, txEnv, normBuf, resBuf []float64
+	waveBuf                       sigproc.IQ
+	bitBuf, chipBuf               []byte
+	chunkEnds                     []int
 }
 
 // New returns a reader with the given configuration.
 func New(cfg Config) (*Reader, error) {
+	r := &Reader{}
+	if err := r.Reconfigure(cfg); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Reconfigure re-initialises the reader in place for a new
+// configuration, keeping the waveform and decoder scratch of the old
+// one. The result behaves exactly like New(cfg).
+func (r *Reader) Reconfigure(cfg Config) error {
 	if cfg.Code == "" {
 		cfg.Code = "fm0"
 	}
 	code, err := phy.CodeByName(cfg.Code)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if cfg.WarmupChips == 0 {
 		cfg.WarmupChips = 16
 	}
-	return &Reader{cfg: cfg, code: code}, nil
+	if r.cfg.WarmupChips != cfg.WarmupChips || r.pre == nil {
+		r.pre = phy.DefaultPreambleChips(cfg.WarmupChips)
+	}
+	r.cfg = cfg
+	r.code = code
+	r.leakAmp = 0
+	return nil
+}
+
+// Reset restores the reader to its post-New state (clearing the
+// SISubtract leakage calibration) while keeping all internal scratch,
+// so one reader can be reused across independent experiment cells
+// without reallocating.
+func (r *Reader) Reset() { r.leakAmp = 0 }
+
+// Grow pre-sizes the decoder scratch for receive blocks of up to n
+// samples, so a sweep that knows its largest block avoids the
+// stepwise re-allocations as block sizes increase across cells.
+func (r *Reader) Grow(n int) {
+	if cap(r.rxEnv) < n {
+		r.rxEnv = make([]float64, 0, n)
+	}
+	if cap(r.txEnv) < n {
+		r.txEnv = make([]float64, 0, n)
+	}
+	if cap(r.normBuf) < n {
+		r.normBuf = make([]float64, 0, n)
+	}
+	if cap(r.resBuf) < n {
+		r.resBuf = make([]float64, 0, n)
+	}
 }
 
 // Modem returns the configured forward modem.
@@ -128,6 +173,10 @@ func (r *Reader) Modem() phy.OOK { return r.cfg.Modem }
 // (randomise per frame to exercise the tag's sync); the flush slot is one
 // last-chunk-block long so the tag can return the final chunk's
 // feedback.
+//
+// The returned waveform and the layout's ChunkEnds alias reader-owned
+// scratch: they are valid until the next BuildWaveform call, which
+// keeps the per-frame hot path allocation-free.
 func (r *Reader) BuildWaveform(wire []byte, hdr phy.Header, padChips int) (sigproc.IQ, Layout, error) {
 	if padChips < 0 {
 		padChips = 0
@@ -139,19 +188,22 @@ func (r *Reader) BuildWaveform(wire []byte, hdr phy.Header, padChips int) (sigpr
 		fm0.Reset()
 	}
 
-	var wave sigproc.IQ
+	wave := r.waveBuf[:0]
 	wave = o.AppendIdle(wave, padChips)
-	pre := phy.DefaultPreambleChips(r.cfg.WarmupChips)
+	pre := r.pre
 	wave = o.AppendChips(wave, pre)
 
-	bits := sigproc.BytesToBits(wire, nil)
-	chips := r.code.Encode(bits, nil)
-	wave = o.AppendChips(wave, chips)
+	r.bitBuf = sigproc.BytesToBits(wire, r.bitBuf[:0])
+	r.chipBuf = r.code.Encode(r.bitBuf, r.chipBuf[:0])
+	wave = o.AppendChips(wave, r.chipBuf)
 
 	layout := Layout{PadLen: padChips * sps}
 	layout.AcquireEnd = (padChips+len(pre)+phy.HeaderSize*8*cpb)*sps + 0
 	n := hdr.NumChunks()
-	layout.ChunkEnds = make([]int, n)
+	if cap(r.chunkEnds) < n {
+		r.chunkEnds = make([]int, n)
+	}
+	layout.ChunkEnds = r.chunkEnds[:n]
 	for i := 0; i < n; i++ {
 		_, endByte := hdr.ChunkWireRange(i)
 		end := (padChips+len(pre))*sps + endByte*8*cpb*sps
@@ -169,6 +221,7 @@ func (r *Reader) BuildWaveform(wire []byte, hdr phy.Header, padChips int) (sigpr
 		flushLen = e - s
 	}
 	wave = o.AppendIdle(wave, flushLen/sps+1)
+	r.waveBuf = wave
 	layout.FlushEnd = len(wave)
 	if got := layout.ChunkEnds; n > 0 && got[n-1] > len(wave) {
 		return nil, Layout{}, fmt.Errorf("reader: layout overruns waveform (%d > %d)", got[n-1], len(wave))

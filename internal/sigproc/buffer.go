@@ -133,14 +133,21 @@ func (x IQ) Fill(v complex128) IQ {
 }
 
 // Envelope writes |x[i]| into dst and returns it. If dst is nil or too
-// short a new slice is allocated.
+// short a new slice is allocated. Purely real samples (a transmit
+// waveform before any channel) take a branch that skips the Hypot call;
+// math.Hypot(re, 0) is exactly math.Abs(re), so the result is bit
+// identical either way.
 func (x IQ) Envelope(dst []float64) []float64 {
 	if cap(dst) < len(x) {
 		dst = make([]float64, len(x))
 	}
 	dst = dst[:len(x)]
 	for i, v := range x {
-		dst[i] = cmplx.Abs(v)
+		if imag(v) == 0 {
+			dst[i] = math.Abs(real(v))
+		} else {
+			dst[i] = cmplx.Abs(v)
+		}
 	}
 	return dst
 }

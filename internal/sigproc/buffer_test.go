@@ -213,3 +213,29 @@ func TestEnergyAdditiveProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The envelope's real-sample fast path must be bit-identical to the
+// Hypot path: math.Hypot(re, 0) == math.Abs(re) exactly, including
+// signed zeros, infinities and NaN.
+func TestEnvelopeRealFastPathBitIdentical(t *testing.T) {
+	vals := []float64{0, math.Copysign(0, -1), 1.5, -2.25, 1e-300, -1e300,
+		math.Inf(1), math.Inf(-1), math.NaN(), 0.1, -0.30000000000000004}
+	x := make(IQ, len(vals))
+	for i, v := range vals {
+		x[i] = complex(v, 0)
+	}
+	env := x.Envelope(nil)
+	for i, v := range vals {
+		want := math.Hypot(v, 0)
+		got := env[i]
+		if math.IsNaN(want) {
+			if !math.IsNaN(got) {
+				t.Fatalf("val %v: got %v, want NaN", v, got)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("val %v: fast path %v != Hypot %v", v, got, want)
+		}
+	}
+}

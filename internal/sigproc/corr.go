@@ -47,11 +47,40 @@ func CorrelateReal(x, pattern []float64, dst []float64) []float64 {
 	return dst
 }
 
-// NormalizedCorrelateReal computes the normalised cross-correlation
-// (cosine similarity) of a zero-mean pattern against x at every offset.
-// Values are in [-1, 1]; offsets where the window has zero energy yield 0.
-func NormalizedCorrelateReal(x, pattern []float64, dst []float64) []float64 {
-	n := len(x) - len(pattern) + 1
+// Matcher is a precomputed pattern for repeated normalised
+// cross-correlation: the zero-mean pattern and its energy are derived
+// once at construction, so per-call work is only the sliding windows.
+// Receivers that correlate the same template against every incoming
+// block (e.g. preamble detection) should hold one Matcher instead of
+// calling NormalizedCorrelateReal, which re-derives the pattern (and
+// allocates) on every call.
+type Matcher struct {
+	zp []float64 // zero-mean pattern
+	pe float64   // pattern energy sum(zp^2)
+}
+
+// NewMatcher returns a matcher for the given pattern. The pattern is
+// copied; later mutation of the argument does not affect the matcher.
+func NewMatcher(pattern []float64) *Matcher {
+	m := &Matcher{zp: make([]float64, len(pattern))}
+	pm := MeanFloat(pattern)
+	for i, p := range pattern {
+		m.zp[i] = p - pm
+		m.pe += m.zp[i] * m.zp[i]
+	}
+	return m
+}
+
+// Len returns the pattern length.
+func (m *Matcher) Len() int { return len(m.zp) }
+
+// Correlate computes the normalised cross-correlation (cosine
+// similarity) of the matcher's pattern against x at every offset,
+// writing into dst (allocated if nil or short). Values are in [-1, 1];
+// offsets where either window has zero energy yield 0. The result is
+// identical to NormalizedCorrelateReal with the original pattern.
+func (m *Matcher) Correlate(x []float64, dst []float64) []float64 {
+	n := len(x) - len(m.zp) + 1
 	if n < 0 {
 		n = 0
 	}
@@ -59,14 +88,7 @@ func NormalizedCorrelateReal(x, pattern []float64, dst []float64) []float64 {
 		dst = make([]float64, n)
 	}
 	dst = dst[:n]
-	var pe float64
-	pm := MeanFloat(pattern)
-	zp := make([]float64, len(pattern))
-	for i, p := range pattern {
-		zp[i] = p - pm
-		pe += zp[i] * zp[i]
-	}
-	if pe == 0 {
+	if m.pe == 0 {
 		for i := range dst {
 			dst[i] = 0
 		}
@@ -74,23 +96,32 @@ func NormalizedCorrelateReal(x, pattern []float64, dst []float64) []float64 {
 	}
 	for i := 0; i < n; i++ {
 		var xm float64
-		for j := range pattern {
+		for j := range m.zp {
 			xm += x[i+j]
 		}
-		xm /= float64(len(pattern))
+		xm /= float64(len(m.zp))
 		var acc, xe float64
-		for j := range pattern {
+		for j := range m.zp {
 			xv := x[i+j] - xm
-			acc += xv * zp[j]
+			acc += xv * m.zp[j]
 			xe += xv * xv
 		}
 		if xe == 0 {
 			dst[i] = 0
 			continue
 		}
-		dst[i] = acc / math.Sqrt(xe*pe)
+		dst[i] = acc / math.Sqrt(xe*m.pe)
 	}
 	return dst
+}
+
+// NormalizedCorrelateReal computes the normalised cross-correlation
+// (cosine similarity) of a zero-mean pattern against x at every offset.
+// Values are in [-1, 1]; offsets where the window has zero energy yield 0.
+// Repeated correlation against a fixed pattern should use a Matcher,
+// which hoists the per-call pattern preparation this function performs.
+func NormalizedCorrelateReal(x, pattern []float64, dst []float64) []float64 {
+	return NewMatcher(pattern).Correlate(x, dst)
 }
 
 // PeakIndex returns the index of the maximum value in x, or -1 if x is

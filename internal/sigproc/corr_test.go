@@ -94,3 +94,65 @@ func TestPeakIndexEmpty(t *testing.T) {
 		t.Fatal("empty PeakAbsIndex should be -1")
 	}
 }
+
+// A Matcher must reproduce NormalizedCorrelateReal exactly — it is the
+// hoisted-precompute form the preamble detector runs per frame.
+func TestMatcherMatchesNormalizedCorrelate(t *testing.T) {
+	src := []float64{0.4, 1.2, -0.7, 0.9, 0.1, 2.2, -1.5, 0.6, 0.0, 1.1, -0.3, 0.8}
+	for _, pat := range [][]float64{
+		{1, 0, 1},
+		{2, 2, 2}, // zero-energy after mean removal
+		{0.5, -1.5, 0.25, 1},
+	} {
+		want := NormalizedCorrelateReal(src, pat, nil)
+		m := NewMatcher(pat)
+		got := m.Correlate(src, nil)
+		if len(got) != len(want) {
+			t.Fatalf("length %d != %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("pattern %v offset %d: matcher %v != one-shot %v", pat, i, got[i], want[i])
+			}
+		}
+		// Reusing the matcher and its dst must not change results.
+		dst := got[:0]
+		again := m.Correlate(src, dst)
+		for i := range again {
+			if again[i] != want[i] {
+				t.Fatalf("reused matcher diverged at %d", i)
+			}
+		}
+	}
+}
+
+func TestMatcherCopiesPattern(t *testing.T) {
+	pat := []float64{1, 2, 3}
+	m := NewMatcher(pat)
+	want := m.Correlate([]float64{1, 2, 3, 4, 5}, nil)
+	pat[0] = 99 // mutate the caller's slice
+	got := m.Correlate([]float64{1, 2, 3, 4, 5}, nil)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("matcher must not alias the caller's pattern")
+		}
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestMatcherAllocFree(t *testing.T) {
+	m := NewMatcher([]float64{1, 0, 1, 0, 1})
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	dst := m.Correlate(x, nil)
+	allocs := testing.AllocsPerRun(20, func() {
+		dst = m.Correlate(x, dst[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("Matcher.Correlate with reused dst allocates %.1f objects", allocs)
+	}
+}

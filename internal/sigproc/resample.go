@@ -31,15 +31,24 @@ func FractionalDelay(x IQ, delay float64, dst IQ) IQ {
 
 // Resample converts x from one sample rate to another using linear
 // interpolation. The output length is round(len(x) * outRate / inRate).
-// It panics if either rate is not positive.
+// It panics if either rate is not positive. Repeated conversions should
+// use ResampleInto to reuse the destination buffer.
 func Resample(x IQ, inRate, outRate float64) IQ {
+	return ResampleInto(x, inRate, outRate, nil)
+}
+
+// ResampleInto is Resample writing into dst (allocated if nil or short).
+func ResampleInto(x IQ, inRate, outRate float64, dst IQ) IQ {
 	if inRate <= 0 || outRate <= 0 {
 		panic("sigproc: resample rates must be positive")
 	}
 	n := int(math.Round(float64(len(x)) * outRate / inRate))
-	out := make(IQ, n)
+	if cap(dst) < n {
+		dst = make(IQ, n)
+	}
+	out := dst[:n]
 	if len(x) == 0 {
-		return out
+		return out.Zero()
 	}
 	ratio := inRate / outRate
 	for i := range out {

@@ -41,28 +41,37 @@ func (s *Source) Split() *Source {
 	return &Source{rng: rand.New(pcg), pcg: pcg}
 }
 
+// f64 returns a uniform value in [0, 1), drawing from the PCG exactly
+// as rand.Rand.Float64 does (there are exactly 1<<53 float64s in
+// [0, 1)) but without the rand.Rand source indirection, so it inlines
+// into the hot noise loops.
+func (s *Source) f64() float64 {
+	return float64(s.pcg.Uint64()<<11>>11) / (1 << 53)
+}
+
 // Float64 returns a uniform value in [0, 1).
-func (s *Source) Float64() float64 { return s.rng.Float64() }
+func (s *Source) Float64() float64 { return s.f64() }
 
 // Uint64 returns a uniform 64-bit value.
-func (s *Source) Uint64() uint64 { return s.rng.Uint64() }
+func (s *Source) Uint64() uint64 { return s.pcg.Uint64() }
 
 // IntN returns a uniform value in [0, n). It panics if n <= 0.
 func (s *Source) IntN(n int) int { return s.rng.IntN(n) }
 
 // Bit returns 0 or 1 with equal probability.
-func (s *Source) Bit() byte { return byte(s.rng.Uint64() & 1) }
+func (s *Source) Bit() byte { return byte(s.pcg.Uint64() & 1) }
 
 // Bool returns true with probability p.
-func (s *Source) Bool(p float64) bool { return s.rng.Float64() < p }
+func (s *Source) Bool(p float64) bool { return s.f64() < p }
 
-// Normal returns a standard normal draw (Box-Muller via rand.NormFloat64).
-func (s *Source) Normal() float64 { return s.rng.NormFloat64() }
+// Normal returns a standard normal draw (ziggurat, stream-identical to
+// rand.Rand.NormFloat64; see ziggurat.go).
+func (s *Source) Normal() float64 { return s.norm() }
 
 // Gaussian returns a normal draw with the given mean and standard
 // deviation.
 func (s *Source) Gaussian(mean, stddev float64) float64 {
-	return mean + stddev*s.rng.NormFloat64()
+	return mean + stddev*s.norm()
 }
 
 // ComplexNormal returns a circularly-symmetric complex Gaussian draw with
@@ -70,7 +79,7 @@ func (s *Source) Gaussian(mean, stddev float64) float64 {
 // half the variance, which is the standard baseband AWGN model.
 func (s *Source) ComplexNormal(variance float64) complex128 {
 	sigma := math.Sqrt(variance / 2)
-	return complex(sigma*s.rng.NormFloat64(), sigma*s.rng.NormFloat64())
+	return complex(sigma*s.norm(), sigma*s.norm())
 }
 
 // Rayleigh returns a Rayleigh-distributed amplitude whose mean square is
@@ -96,7 +105,7 @@ func (s *Source) RicianCoeff(power, k float64) complex128 {
 	}
 	los := math.Sqrt(power * k / (k + 1))
 	scatter := s.ComplexNormal(power / (k + 1))
-	phase := 2 * math.Pi * s.rng.Float64()
+	phase := 2 * math.Pi * s.f64()
 	return complex(los*math.Cos(phase), los*math.Sin(phase)) + scatter
 }
 
@@ -126,7 +135,7 @@ func (s *Source) Poisson(mean float64) int {
 	k := 0
 	p := 1.0
 	for {
-		p *= s.rng.Float64()
+		p *= s.f64()
 		if p <= l {
 			return k
 		}
@@ -146,8 +155,26 @@ func (s *Source) FillNoise(x []complex128, power float64) {
 		return
 	}
 	sigma := math.Sqrt(power / 2)
+	pcg := s.pcg
 	for i := range x {
-		x[i] += complex(sigma*s.rng.NormFloat64(), sigma*s.rng.NormFloat64())
+		// Two manually inlined ziggurat fast paths (see ziggurat.go);
+		// the rejection tail falls back to normSlow. Stream-identical
+		// to calling Normal twice, verified by TestFillNoiseMatchesNorm.
+		u := pcg.Uint64()
+		j := int32(u)
+		k := u >> 32 & 0x7F
+		re := float64(j) * float64(wn[k])
+		if absInt32(j) >= kn[k] {
+			re = s.normSlow(j, k, re)
+		}
+		u = pcg.Uint64()
+		j = int32(u)
+		k = u >> 32 & 0x7F
+		im := float64(j) * float64(wn[k])
+		if absInt32(j) >= kn[k] {
+			im = s.normSlow(j, k, im)
+		}
+		x[i] += complex(sigma*re, sigma*im)
 	}
 }
 

@@ -2,6 +2,7 @@ package simrand
 
 import (
 	"math"
+	"math/rand/v2"
 	"testing"
 )
 
@@ -302,5 +303,59 @@ func TestGilbertElliottBadAccessor(t *testing.T) {
 	g.Step()
 	if !g.Bad() {
 		t.Fatal("channel should be in Bad state after forced transition")
+	}
+}
+
+// The direct-PCG fast paths (norm, f64, Uint64, Bit) must consume and
+// produce the stream exactly as the rand.Rand wrappers they replace, or
+// every seeded experiment output would shift. Interleave the draw kinds
+// against a reference rand.Rand over the same PCG.
+func TestFastPathsMatchMathRand(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 7, 0xdeadbeef} {
+		src := New(seed)
+		ref := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+		for i := 0; i < 20000; i++ {
+			switch i % 4 {
+			case 0:
+				if got, want := src.Normal(), ref.NormFloat64(); got != want {
+					t.Fatalf("seed %d draw %d: Normal = %v, want %v", seed, i, got, want)
+				}
+			case 1:
+				if got, want := src.Float64(), ref.Float64(); got != want {
+					t.Fatalf("seed %d draw %d: Float64 = %v, want %v", seed, i, got, want)
+				}
+			case 2:
+				if got, want := src.Uint64(), ref.Uint64(); got != want {
+					t.Fatalf("seed %d draw %d: Uint64 = %v, want %v", seed, i, got, want)
+				}
+			case 3:
+				if got, want := src.Bit(), byte(ref.Uint64()&1); got != want {
+					t.Fatalf("seed %d draw %d: Bit = %v, want %v", seed, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// FillNoise's manually inlined ziggurat must stay draw-for-draw
+// identical to two Normal calls per sample.
+func TestFillNoiseMatchesNorm(t *testing.T) {
+	a, b := New(99), New(99)
+	const n = 4096
+	xa := make([]complex128, n)
+	xb := make([]complex128, n)
+	a.FillNoise(xa, 1e-6)
+	sigma := math.Sqrt(1e-6 / 2)
+	for i := range xb {
+		xb[i] += complex(sigma*b.Normal(), sigma*b.Normal())
+	}
+	for i := range xa {
+		if xa[i] != xb[i] {
+			t.Fatalf("sample %d: FillNoise %v != reference %v", i, xa[i], xb[i])
+		}
+	}
+	// And the two sources must remain in lockstep afterwards.
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("sources diverged after FillNoise")
 	}
 }

@@ -64,7 +64,7 @@ type Config struct {
 type Tag struct {
 	cfg      Config
 	code     phy.LineCode
-	tpl      []float64
+	sync     *phy.PreambleDetector
 	budget   energy.Budget
 	detector *sigproc.SinglePoleIIR
 
@@ -83,23 +83,36 @@ type Tag struct {
 	envBuf    []float64
 	levelBuf  []float64
 	bitBuf    []byte
+	byteBuf   []byte
 	statesBuf []byte
 }
 
 // New returns a tag with the given configuration.
 func New(cfg Config) (*Tag, error) {
+	t := &Tag{}
+	if err := t.Reconfigure(cfg); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Reconfigure re-initialises the tag in place for a new configuration,
+// keeping the block-sized scratch buffers of the old one (the preamble
+// correlator is rebuilt only when the modem or warmup changes). The
+// result behaves exactly like New(cfg).
+func (t *Tag) Reconfigure(cfg Config) error {
 	if cfg.Code == "" {
 		cfg.Code = "fm0"
 	}
 	code, err := phy.CodeByName(cfg.Code)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if cfg.Rho == 0 {
 		cfg.Rho = 0.3
 	}
 	if cfg.Rho < 0 || cfg.Rho > 1 {
-		return nil, fmt.Errorf("tag: rho %g outside [0, 1]", cfg.Rho)
+		return fmt.Errorf("tag: rho %g outside [0, 1]", cfg.Rho)
 	}
 	if cfg.WarmupChips == 0 {
 		cfg.WarmupChips = 16
@@ -107,21 +120,23 @@ func New(cfg Config) (*Tag, error) {
 	if cfg.MinSyncCorr == 0 {
 		cfg.MinSyncCorr = 0.7
 	}
-	t := &Tag{
-		cfg:        cfg,
-		code:       code,
-		tpl:        phy.PreambleTemplate(cfg.Modem, phy.DefaultPreambleChips(cfg.WarmupChips)),
-		pendingBit: -1,
+	if cfg.DetectorCutoffHz > 0 && cfg.SampleRate <= 0 {
+		return errors.New("tag: detector RC requires SampleRate")
 	}
+	if t.sync == nil || t.cfg.Modem != cfg.Modem || t.cfg.WarmupChips != cfg.WarmupChips {
+		t.sync = phy.NewPreambleDetector(phy.PreambleTemplate(cfg.Modem, phy.DefaultPreambleChips(cfg.WarmupChips)))
+	}
+	t.cfg = cfg
+	t.code = code
+	t.detector = nil
 	if cfg.DetectorCutoffHz > 0 {
-		if cfg.SampleRate <= 0 {
-			return nil, errors.New("tag: detector RC requires SampleRate")
-		}
 		t.detector = sigproc.NewSinglePoleIIR(cfg.DetectorCutoffHz, cfg.SampleRate)
 	}
 	t.budget = energy.Budget{Harvester: cfg.Harvester, Cap: cfg.Capacitor, CircuitW: cfg.CircuitW}
 	t.budget.Cap.SetVoltage(t.budget.Cap.MaxVoltageV)
-	return t, nil
+	t.resetFrame()
+	t.muted = false
+	return nil
 }
 
 // Rho returns the configured reflection coefficient.
@@ -213,11 +228,11 @@ func (t *Tag) Acquire(view sigproc.IQ, stateLen int, sampleRate float64) (states
 	t.accountEnergy(view[:stateLen], states, sampleRate)
 
 	env := t.envelope(view, stateLen)
-	sync, ok := phy.DetectPreamble(env, t.tpl, t.cfg.MinSyncCorr)
+	sync, ok := t.sync.Detect(env, t.cfg.MinSyncCorr)
 	if !ok {
 		return states, AcquireResult{}
 	}
-	amp := phy.EstimateChannelAmp(env, t.tpl, sync.PeakIndex)
+	amp := phy.EstimateChannelAmp(env, t.sync.Template(), sync.PeakIndex)
 	// Decode the header: HeaderSize bytes of line-coded chips follow the
 	// preamble.
 	nChips := phy.HeaderSize * 8 * t.code.ChipsPerBit()
@@ -227,8 +242,8 @@ func (t *Tag) Acquire(view sigproc.IQ, stateLen int, sampleRate float64) (states
 		return states, res
 	}
 	t.bitBuf = t.decodeBits(t.levelBuf[:nChips], amp, t.bitBuf[:0])
-	hdrBytes := sigproc.BitsToBytes(t.bitBuf, nil)
-	hdr, err := phy.ParseHeader(hdrBytes)
+	t.byteBuf = sigproc.BitsToBytes(t.bitBuf, t.byteBuf[:0])
+	hdr, err := phy.ParseHeader(t.byteBuf)
 	if err != nil {
 		return states, res
 	}
@@ -243,7 +258,14 @@ func (t *Tag) Acquire(view sigproc.IQ, stateLen int, sampleRate float64) (states
 	t.header = hdr
 	t.ampEst = amp
 	t.chipOffset = off
-	t.chunkOK = make([]bool, hdr.NumChunks())
+	if n := hdr.NumChunks(); cap(t.chunkOK) < n {
+		t.chunkOK = make([]bool, n)
+	} else {
+		t.chunkOK = t.chunkOK[:n]
+		for i := range t.chunkOK {
+			t.chunkOK[i] = false
+		}
+	}
 	t.payload = t.payload[:0]
 	t.pendingBit = 1 // header-ACK rides on the first chunk block
 	res.OK, res.Header, res.ChipOffset = true, hdr, off
@@ -302,7 +324,8 @@ func (t *Tag) ProcessChunk(view sigproc.IQ, stateLen int, sampleRate float64) (s
 	}
 	t.levelBuf = t.cfg.Modem.ChipLevels(env, t.chipOffset, t.levelBuf[:0])
 	t.bitBuf = t.decodeBits(t.levelBuf, t.ampEst, t.bitBuf[:0])
-	chunkBytes := sigproc.BitsToBytes(t.bitBuf, nil)
+	chunkBytes := sigproc.BitsToBytes(t.bitBuf, t.byteBuf[:0])
+	t.byteBuf = chunkBytes
 
 	idx := t.chunkIdx
 	s, e := t.header.ChunkPayloadRange(idx)
@@ -314,10 +337,12 @@ func (t *Tag) ProcessChunk(view sigproc.IQ, stateLen int, sampleRate float64) (s
 		ok = phy.ChunkCRC(t.header.Seq, idx, data) == crc
 		t.payload = append(t.payload, data...)
 	} else {
-		// Short decode: deliver what we have, padded, and fail the CRC.
-		pad := make([]byte, e-s)
-		copy(pad, chunkBytes)
-		t.payload = append(t.payload, pad...)
+		// Short decode: deliver what we have, zero-padded, and fail the
+		// CRC.
+		t.payload = append(t.payload, chunkBytes...)
+		for i := len(chunkBytes); i < e-s; i++ {
+			t.payload = append(t.payload, 0)
+		}
 	}
 	t.chunkOK[idx] = ok
 	t.chunkIdx++
@@ -370,12 +395,44 @@ func (t *Tag) ChunkResults() []bool {
 	return out
 }
 
+// ChunkResultsView returns the per-chunk CRC outcomes recorded so far
+// as a view of the tag's internal state: valid only until the next
+// Acquire, and not to be mutated. The allocation-free form of
+// ChunkResults for per-frame loops.
+func (t *Tag) ChunkResultsView() []bool { return t.chunkOK }
+
+// ChunksExpected returns the number of chunks the tag's decoded header
+// announces (which differs from the transmitted frame when a corrupted
+// header slipped past its CRC-8). Zero before a successful Acquire.
+func (t *Tag) ChunksExpected() int {
+	if !t.acquired {
+		return 0
+	}
+	return t.header.NumChunks()
+}
+
 // Payload returns the payload bytes recovered so far (possibly corrupt
 // in chunks whose CRC failed).
 func (t *Tag) Payload() []byte {
 	out := make([]byte, len(t.payload))
 	copy(out, t.payload)
 	return out
+}
+
+// PayloadView returns the recovered payload as a view of the tag's
+// internal buffer: valid only until the next Acquire, and not to be
+// mutated. The allocation-free form of Payload for per-frame loops.
+func (t *Tag) PayloadView() []byte { return t.payload }
+
+// Reset restores the tag to its power-on state — frame machine idle,
+// capacitor recharged, outage statistics cleared — reusing all internal
+// buffers. After Reset the tag behaves exactly like a freshly
+// constructed one.
+func (t *Tag) Reset() {
+	t.resetFrame()
+	t.muted = false
+	t.budget.Reset()
+	t.budget.Cap.SetVoltage(t.budget.Cap.MaxVoltageV)
 }
 
 // HarvestedOutageFraction reports the fraction of accounted time the tag
@@ -392,7 +449,7 @@ func (t *Tag) resetFrame() {
 	t.ampEst = 0
 	t.chipOffset = 0
 	t.chunkIdx = 0
-	t.chunkOK = nil
+	t.chunkOK = t.chunkOK[:0]
 	t.payload = t.payload[:0]
 	t.pendingBit = -1
 	if t.detector != nil {

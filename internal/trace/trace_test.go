@@ -265,3 +265,56 @@ func TestTableRows(t *testing.T) {
 		t.Fatal("Rows() must return a copy")
 	}
 }
+
+// Typed cells (AddCells) must render byte-identically to the classic
+// boxed AddRow path for every value kind the experiments emit.
+func TestAddCellsMatchesAddRow(t *testing.T) {
+	boxed := NewTable("t", "a", "b", "c", "d", "e")
+	boxed.AddRow(0.5, 1e-9, 42, "text", -0.0)
+	boxed.AddRow(123456.0, float32(2.5), int64(-7), "with,comma", 0.30000000000000004)
+
+	typed := NewTable("t", "a", "b", "c", "d", "e")
+	typed.Grow(2)
+	typed.AddCells([]Cell{F(0.5), F(1e-9), I(42), S("text"), F(-0.0)})
+	typed.AddCells([]Cell{F(123456.0), V(float32(2.5)), V(int64(-7)), S("with,comma"), F(0.30000000000000004)})
+
+	var wantText, gotText strings.Builder
+	if err := boxed.WriteText(&wantText); err != nil {
+		t.Fatal(err)
+	}
+	if err := typed.WriteText(&gotText); err != nil {
+		t.Fatal(err)
+	}
+	if wantText.String() != gotText.String() {
+		t.Fatalf("text render differs:\n%q\nvs\n%q", wantText.String(), gotText.String())
+	}
+	var wantCSV, gotCSV strings.Builder
+	if err := boxed.WriteCSV(&wantCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := typed.WriteCSV(&gotCSV); err != nil {
+		t.Fatal(err)
+	}
+	if wantCSV.String() != gotCSV.String() {
+		t.Fatalf("CSV render differs:\n%q\nvs\n%q", wantCSV.String(), gotCSV.String())
+	}
+}
+
+// AddCells must not allocate beyond the row append itself once the
+// table has grown capacity — the hot-loop contract the harness uses.
+func TestAddCellsAllocBudget(t *testing.T) {
+	tbl := NewTable("t", "x")
+	rows := make([][]Cell, 100)
+	for i := range rows {
+		rows[i] = []Cell{I(i)}
+	}
+	tbl.Grow(len(rows))
+	i := 0
+	allocs := testing.AllocsPerRun(99, func() {
+		tbl.AddCells(rows[i%len(rows)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("AddCells after Grow allocates %.1f objects/row", allocs)
+	}
+}

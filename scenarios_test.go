@@ -1,0 +1,51 @@
+package fdbackscatter
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// Every scenario file shipped under examples/scenarios must load,
+// validate, and actually run: nothing else would catch a schema drift
+// (a renamed field, a tightened bound) silently breaking the examples.
+func TestShippedScenarioFilesValidate(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("examples", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 2 {
+		t.Fatalf("expected at least 2 shipped scenario files, found %d (glob broken or examples moved?)", len(files))
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			sc, err := LoadScenario(path)
+			if err != nil {
+				t.Fatalf("LoadScenario: %v", err)
+			}
+			if sc.Name == "" {
+				t.Error("scenario has no name")
+			}
+			// A short deterministic run proves the file is not just
+			// parseable but executable; clamp the horizon so the test
+			// stays fast regardless of the shipped MaxRounds.
+			if sc.MaxRounds > 40 {
+				sc.MaxRounds = 40
+			}
+			res, err := RunScenario(sc, 1)
+			if err != nil {
+				t.Fatalf("RunScenario: %v", err)
+			}
+			if res.Rounds == 0 {
+				t.Error("scenario ran zero rounds")
+			}
+			again, err := RunScenario(sc, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FramesDelivered != again.FramesDelivered || res.ElapsedBytes != again.ElapsedBytes {
+				t.Error("scenario run is not deterministic at fixed seed")
+			}
+		})
+	}
+}
