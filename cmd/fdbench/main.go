@@ -154,13 +154,24 @@ func run() int {
 		}
 		regs := perf.DefaultGate.Regressions(report, base)
 		for _, d := range perf.Compare(report, base) {
-			fmt.Fprintf(os.Stderr, "perf: %-16s %8.1f ms -> %8.1f ms (%.2fx)\n",
-				d.ID, d.BaselineMs, d.CurrentMs, d.Ratio)
+			switch d.Status {
+			case perf.StatusAdded:
+				fmt.Fprintf(os.Stderr, "perf: %-16s (added)   %8.1f ms, no baseline\n", d.ID, d.CurrentMs)
+			case perf.StatusRemoved:
+				fmt.Fprintf(os.Stderr, "perf: %-16s (removed) %8.1f ms baseline no longer measured\n", d.ID, d.BaselineMs)
+			default:
+				fmt.Fprintf(os.Stderr, "perf: %-16s %8.1f ms -> %8.1f ms (%.2fx)\n",
+					d.ID, d.BaselineMs, d.CurrentMs, d.Ratio)
+			}
 		}
 		if len(regs) > 0 {
-			fmt.Fprintf(os.Stderr, "perf: %d experiment(s) regressed beyond %.1fx vs %s:\n",
+			fmt.Fprintf(os.Stderr, "perf: %d experiment(s) regressed beyond %.1fx (or vanished) vs %s:\n",
 				len(regs), perf.DefaultGate.MaxRatio, *compare)
 			for _, d := range regs {
+				if d.Status == perf.StatusRemoved {
+					fmt.Fprintf(os.Stderr, "perf:   %s: removed (%.1f ms baseline unverifiable)\n", d.ID, d.BaselineMs)
+					continue
+				}
 				fmt.Fprintf(os.Stderr, "perf:   %s: %.1f ms -> %.1f ms (%.2fx)\n",
 					d.ID, d.BaselineMs, d.CurrentMs, d.Ratio)
 			}

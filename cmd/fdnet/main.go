@@ -9,12 +9,14 @@
 //	fdnet -preset warehouse -tags 64   # override the population
 //	fdnet -preset mall-cells -readers 8 -scheduling tdm
 //	fdnet -preset sparse-field -mobility 2
+//	fdnet -preset fading-aisle -rateadapt arf       # swap the policy
+//	fdnet -preset warehouse -rateadapt fd -faderho 0.95
 //	fdnet -preset lab-bench -format csv -seed 7
 //
 // Overrides (-tags, -topology, -radius, -load, -protocol, -readers,
-// -scheduling, -mobility) apply on top of the preset or file;
-// everything else comes from the scenario. Runs are deterministic:
-// same scenario + seed, same output.
+// -scheduling, -mobility, -rateadapt, -faderho) apply on top of the
+// preset or file; everything else comes from the scenario. Runs are
+// deterministic: same scenario + seed, same output.
 package main
 
 import (
@@ -41,6 +43,8 @@ func main() {
 		readers    = flag.Int("readers", 0, "override reader count")
 		scheduling = flag.String("scheduling", "", "override reader scheduling (independent, tdm)")
 		mobility   = flag.Float64("mobility", 0, "enable waypoint mobility with this drift step (m/epoch)")
+		rateadapt  = flag.String("rateadapt", "", "enable closed-loop rate adaptation with this policy (fixed, arf, fd)")
+		fadeRho    = flag.Float64("faderho", -1, "override the per-chunk fading correlation, in [0, 1)")
 	)
 	flag.Parse()
 
@@ -55,6 +59,9 @@ func main() {
 			}
 			if sc.Mobility.Model == netsim.MobilityWaypoint {
 				extra += fmt.Sprintf(", mobile (%.3gm/epoch)", sc.Mobility.StepM)
+			}
+			if sc.RateAdapt.Adapter != "" {
+				extra += fmt.Sprintf(", rate-adapt %s (fade rho %.3g)", sc.RateAdapt.Adapter, sc.RateAdapt.FadeRho)
 			}
 			fmt.Printf("  %-14s %d tags, %s, r=%gm%s\n", name, sc.Tags, sc.Topology, sc.RadiusM, extra)
 		}
@@ -103,6 +110,12 @@ func main() {
 		sc.Mobility.Model = netsim.MobilityWaypoint
 		sc.Mobility.StepM = *mobility
 	}
+	if *rateadapt != "" {
+		sc.RateAdapt.Adapter = *rateadapt
+	}
+	if *fadeRho >= 0 {
+		sc.RateAdapt.FadeRho = *fadeRho
+	}
 
 	res, err := netsim.Run(sc, *seed)
 	if err != nil {
@@ -110,17 +123,29 @@ func main() {
 		os.Exit(1)
 	}
 
-	tbl := trace.NewTable(fmt.Sprintf("%s: per-tag outcomes (seed %d)", res.Scenario.Name, *seed),
-		"tag", "reader", "dist_m", "snr_db", "chunk_loss", "fb_ber",
-		"offered", "delivered", "dropped", "collisions", "outage", "alive")
+	adapt := res.Scenario.RateAdapt.Adapter != ""
+	cols := []string{"tag", "reader", "dist_m", "snr_db", "chunk_loss", "fb_ber",
+		"offered", "delivered", "dropped", "collisions", "outage", "alive"}
+	if adapt {
+		cols = append(cols, "mean_mult", "rate_switches", "lag_frac")
+	}
+	tbl := trace.NewTable(fmt.Sprintf("%s: per-tag outcomes (seed %d)", res.Scenario.Name, *seed), cols...)
 	for _, t := range res.Tags {
 		alive := "yes"
 		if !t.Alive {
 			alive = "no"
 		}
-		tbl.AddRow(t.ID, t.Reader, t.DistanceM, t.SNRdB, t.ChunkLossProb, t.FeedbackBER,
+		row := []any{t.ID, t.Reader, t.DistanceM, t.SNRdB, t.ChunkLossProb, t.FeedbackBER,
 			t.FramesOffered, t.FramesDelivered, t.FramesDropped, t.Collisions,
-			t.OutageFraction, alive)
+			t.OutageFraction, alive}
+		if adapt {
+			lag := 0.0
+			if t.AdaptChunks > 0 {
+				lag = float64(t.AdaptLagChunks) / float64(t.AdaptChunks)
+			}
+			row = append(row, t.MeanRateMult, t.RateSwitches, lag)
+		}
+		tbl.AddRow(row...)
 	}
 	if *format == "csv" {
 		err = tbl.WriteCSV(os.Stdout)
@@ -146,5 +171,10 @@ func main() {
 		fmt.Printf("delivered %d/%d frames (%.3f), throughput %.4f B/B, collisions %.3f, fairness %.3f, alive %.2f\n",
 			res.FramesDelivered, res.FramesOffered, res.DeliveryRate(),
 			res.Throughput(), res.CollisionFraction(), res.FairnessIndex(), res.AliveFraction())
+		if res.Scenario.RateAdapt.Adapter != "" {
+			fmt.Printf("rate adaptation (%s, fade rho %.3g): mean mult %.2fx, %d switches, lag %.3f over %d chunks\n",
+				res.Scenario.RateAdapt.Adapter, res.Scenario.RateAdapt.FadeRho,
+				res.MeanRateMult(), res.RateSwitches, res.AdaptLagFraction(), res.AdaptChunks)
+		}
 	}
 }

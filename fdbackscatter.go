@@ -142,6 +142,10 @@ type (
 	ReaderSpec = netsim.ReaderSpec
 	// MobilitySpec configures optional seeded waypoint tag mobility.
 	MobilitySpec = netsim.MobilitySpec
+	// RateAdaptSpec configures optional closed-loop per-tag rate
+	// adaptation over a Gauss-Markov fading channel: fixed rate, ARF
+	// frame probing, or the paper's full-duplex per-chunk policy.
+	RateAdaptSpec = netsim.RateAdaptSpec
 	// NetResult aggregates one scenario run (per-tag and per-reader
 	// outcomes plus cell-level delivery, throughput, collision and
 	// energy metrics).
@@ -150,6 +154,16 @@ type (
 	NetTagStats = netsim.TagStats
 	// NetReaderStats reports one reader's outcome inside a NetResult.
 	NetReaderStats = netsim.ReaderStats
+)
+
+// Rate-adaptation policy names for RateAdaptSpec.Adapter.
+const (
+	// RateAdaptFixed holds the rate nearest 1x.
+	RateAdaptFixed = netsim.RateAdaptFixed
+	// RateAdaptARF probes at frame granularity (half-duplex learning).
+	RateAdaptARF = netsim.RateAdaptARF
+	// RateAdaptFD adapts per chunk on the full-duplex feedback channel.
+	RateAdaptFD = netsim.RateAdaptFD
 )
 
 // RunScenario executes a multi-tag network scenario deterministically

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/simrand"
 	"repro/internal/trace"
 )
 
@@ -141,21 +142,11 @@ func subSeed(seed uint64, id string, parts ...uint64) uint64 {
 		h ^= uint64(id[i])
 		h *= prime64
 	}
-	h ^= mix64(seed)
+	h ^= simrand.Mix64(seed)
 	for _, p := range parts {
-		h = mix64(h ^ mix64(p+0x9e3779b97f4a7c15))
+		h = simrand.Mix64(h ^ simrand.Mix64(p+0x9e3779b97f4a7c15))
 	}
-	return mix64(h)
-}
-
-// mix64 is the splitmix64 finalizer: a bijective avalanche over uint64.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
+	return simrand.Mix64(h)
 }
 
 // fbits projects a float parameter into subSeed's part space.

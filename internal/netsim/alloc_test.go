@@ -30,3 +30,32 @@ func TestRoundLoopAllocFree(t *testing.T) {
 			extra, extra/200)
 	}
 }
+
+// The closed-loop rate-adaptation path must keep the same budget: the
+// fading state, adapters, and rate histograms are all allocated at
+// setup, so extra rounds still contribute zero allocations.
+func TestRoundLoopAllocFreeWithRateAdapt(t *testing.T) {
+	scenario := func(rounds int) Scenario {
+		return Scenario{
+			Name: "alloc-budget-adapt", Tags: 12, Topology: TopologyUniformDisc,
+			RadiusM: 12, TxPowerW: 1.0, NoiseW: 1e-8, Rho: 0.9,
+			FeedbackSamplesPerBit: 131072, CapacitanceF: 47e-6,
+			OfferedLoad: 0.3, MaxRounds: rounds,
+			RateAdapt: RateAdaptSpec{Adapter: RateAdaptFD, FadeRho: 0.95},
+		}
+	}
+	measure := func(rounds int) float64 {
+		sc := scenario(rounds)
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Run(sc, 7); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := measure(50)
+	long := measure(250)
+	if extra := long - short; extra != 0 {
+		t.Fatalf("200 extra adapted rounds allocated %.1f objects (%.3f/round); the round loop must not allocate",
+			extra, extra/200)
+	}
+}

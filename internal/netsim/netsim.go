@@ -20,7 +20,11 @@
 // noise floor) or by TDM (one reader per epoch, no interference, less
 // service). Optional waypoint mobility drifts tags each epoch and
 // re-derives every link quality — and the strongest-carrier association
-// — from the new geometry.
+// — from the new geometry. Optional closed-loop rate adaptation
+// (Scenario.RateAdapt) gives each tag a Gauss-Markov fading channel and
+// a per-tag policy — fixed, ARF frame probing, or the paper's
+// full-duplex per-chunk feedback — with chunk loss drawn from the
+// instantaneous per-rate SNR cliff.
 //
 // Determinism: a run is a pure function of (Scenario, seed). All
 // randomness flows from one simrand tree split in a fixed order, the
@@ -56,6 +60,7 @@ type tagNode struct {
 	queue    int // frames awaiting delivery
 	budget   energy.Budget
 	loss     *mac.IIDLoss
+	fade     *fadingLoss     // closed-loop rate adaptation state (nil when disabled)
 	protoSrc *simrand.Source // fresh protocol seed per transmission
 	stats    TagStats
 	alive    bool
@@ -97,6 +102,21 @@ type TagStats struct {
 	OutageFraction float64
 	Alive          bool
 	LifetimeS      float64
+
+	// Closed-loop rate adaptation statistics (nil slices / zeros when
+	// the scenario's RateAdapt spec is disabled).
+
+	// RateChunks[i] counts chunks transmitted at rate i;
+	// RateLostChunks[i] the ones lost at that rate.
+	RateChunks, RateLostChunks []int64
+	// RateSwitches counts rate transitions across the run.
+	RateSwitches int64
+	// AdaptChunks is total chunks under adaptation; AdaptLagChunks the
+	// ones transmitted off the oracle rate (the highest rate the
+	// instantaneous SNR sustains) — the per-tag adaptation lag.
+	AdaptChunks, AdaptLagChunks int64
+	// MeanRateMult is the time-weighted mean rate multiplier.
+	MeanRateMult float64
 }
 
 // NetResult aggregates one scenario run.
@@ -126,6 +146,29 @@ type NetResult struct {
 	CollisionBytes int64
 	// SimulatedS is ElapsedBytes converted to seconds at the bit rate.
 	SimulatedS float64
+	// RateSwitches / AdaptChunks / AdaptLagChunks aggregate the per-tag
+	// rate-adaptation statistics (zero when RateAdapt is disabled);
+	// adaptInvMult backs MeanRateMult.
+	RateSwitches, AdaptChunks, AdaptLagChunks int64
+	adaptInvMult                              float64
+}
+
+// MeanRateMult returns the population's time-weighted mean rate
+// multiplier under rate adaptation (0 when disabled).
+func (r *NetResult) MeanRateMult() float64 {
+	if r.adaptInvMult == 0 {
+		return 0
+	}
+	return float64(r.AdaptChunks) / r.adaptInvMult
+}
+
+// AdaptLagFraction returns the fraction of adapted chunks transmitted
+// off the oracle rate — how far the policy trailed the channel.
+func (r *NetResult) AdaptLagFraction() float64 {
+	if r.AdaptChunks == 0 {
+		return 0
+	}
+	return float64(r.AdaptLagChunks) / float64(r.AdaptChunks)
 }
 
 // DeliveryRate returns delivered frames over offered frames.
@@ -341,6 +384,13 @@ func run(sc Scenario, seed uint64, probe roundProbe) (*NetResult, error) {
 		tagSrc := root.Split()
 		n.loss = mac.NewIIDLoss(0, tagSrc) // probability set by deriveLinks
 		n.protoSrc = tagSrc.Split()
+		if sc.RateAdapt.enabled() {
+			// The fading stream is hashed off the run seed, not split
+			// from the tree: enabling adaptation must not shift the
+			// streams the static engine draws. The loss draws
+			// themselves ride n.loss's existing stream.
+			n.fade = newFadingLoss(sc.RateAdapt, n.loss, fadeSeed(seed, i))
+		}
 		if sc.OfferedLoad == 0 {
 			n.queue = sc.FramesPerTag
 			n.stats.FramesOffered = sc.FramesPerTag
@@ -471,6 +521,13 @@ func run(sc Scenario, seed uint64, probe roundProbe) (*NetResult, error) {
 	res.Tags = make([]TagStats, 0, len(e.tags))
 	for i := range e.tags {
 		n := &e.tags[i]
+		if n.fade != nil {
+			n.fade.drainInto(&n.stats)
+			res.RateSwitches += n.fade.switches
+			res.AdaptChunks += n.fade.chunks
+			res.AdaptLagChunks += n.fade.lagChunks
+			res.adaptInvMult += n.fade.invMultSum
+		}
 		n.stats.OutageFraction = n.budget.OutageFraction()
 		n.stats.Alive = n.alive
 		if n.alive {
@@ -542,6 +599,13 @@ func (e *engine) deriveLinks() {
 
 		n.loss.P = lossP
 		n.params.FeedbackBER = fbBER
+		if n.fade != nil {
+			// Under rate adaptation a mobility epoch re-derives the
+			// fading MEAN; the small-scale Gauss-Markov state persists,
+			// so motion shifts the channel without resetting it.
+			n.fade.meanSNRdB = snrDB
+			n.fade.fbBER = fbBER
+		}
 		n.stats.Reader = best
 		n.stats.X, n.stats.Y = n.pos.X, n.pos.Y
 		n.stats.DistanceM = math.Hypot(n.pos.X-e.readers[best].X, n.pos.Y-e.readers[best].Y)
@@ -557,17 +621,22 @@ func (e *engine) deriveLinks() {
 // independent across frames (the protocol reseeds its internal source
 // on every Run call).
 func (e *engine) runFrame(n *tagNode) mac.Result {
+	var loss mac.Loss = n.loss
+	if n.fade != nil {
+		n.fade.beginFrame()
+		loss = n.fade
+	}
 	switch e.sc.Protocol {
 	case "stop-and-wait":
 		e.sw.P = n.params
-		return e.sw.Run(1, n.loss)
+		return e.sw.Run(1, loss)
 	case "block-ack":
 		e.ba.P = n.params
-		return e.ba.Run(1, n.loss)
+		return e.ba.Run(1, loss)
 	default:
 		e.fd.P = n.params
 		e.fd.Seed = n.protoSrc.Uint64()
-		return e.fd.Run(1, n.loss)
+		return e.fd.Run(1, loss)
 	}
 }
 
@@ -631,8 +700,20 @@ func (e *engine) runWindow(r int, slotSrc *simrand.Source, res *NetResult) int64
 			n := &e.tags[e.slotWinner[s]]
 			mr := e.runFrame(n)
 			n.queue--
-			n.stats.AirtimeBytes += mr.AirtimeBytes
-			rb += mr.ElapsedBytes
+			elapsed, air := mr.ElapsedBytes, mr.AirtimeBytes
+			if n.fade != nil {
+				// A chunk at rate multiplier m occupies chunkAir/m
+				// byte-times: shift the exchange's clock and airtime by
+				// the rates the adapter actually used, and deliver the
+				// end-of-frame verdict the frame-probing policies learn
+				// from.
+				extra := n.fade.frameExtraBytes(e.chunkAir)
+				elapsed += extra
+				air += extra
+				n.fade.endFrame(mr.FramesDelivered == 1)
+			}
+			n.stats.AirtimeBytes += air
+			rb += elapsed
 			if mr.FramesDelivered == 1 {
 				n.stats.FramesDelivered++
 				e.rstats[r].FramesDelivered++
@@ -650,7 +731,7 @@ func (e *engine) runWindow(r int, slotSrc *simrand.Source, res *NetResult) int64
 			// tag spent transmitting so its harvest and draw can be
 			// adjusted there.
 			n.txCount++
-			n.txDt += float64(mr.ElapsedBytes) * e.secondsPerByte
+			n.txDt += float64(elapsed) * e.secondsPerByte
 		default:
 			res.CollisionSlots++
 			e.rstats[r].CollisionSlots++

@@ -1,0 +1,324 @@
+package netsim
+
+// Closed-loop per-tag rate adaptation: every tag can carry a
+// time-varying Gauss-Markov fading channel (the rateadapt trace model,
+// seeded per tag off the run seed) and a rate-adaptation policy that
+// picks the transmission rate chunk by chunk. Chunk loss then follows
+// the instantaneous per-rate SNR cliff instead of the static
+// geometry-derived ChunkLossProb, so the paper's headline claim — FD
+// per-chunk feedback adapts within a frame, half-duplex probing only at
+// frame boundaries — plays out at network scale.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mac"
+	"repro/internal/rateadapt"
+	"repro/internal/simrand"
+)
+
+// Rate-adaptation policy names for RateAdaptSpec.Adapter.
+const (
+	// RateAdaptFixed holds the rate whose multiplier is nearest 1x.
+	RateAdaptFixed = "fixed"
+	// RateAdaptARF steps once per frame on end-of-frame feedback — the
+	// granularity half-duplex probing allows.
+	RateAdaptARF = "arf"
+	// RateAdaptFD adapts per chunk on the full-duplex feedback channel.
+	RateAdaptFD = "fd"
+)
+
+// RateAdaptSpec configures optional closed-loop rate adaptation for
+// every tag of a Scenario. The zero value disables it entirely: the
+// engine then runs the static geometry-derived chunk loss, byte-for-byte
+// identical to scenarios that predate this spec.
+type RateAdaptSpec struct {
+	// Adapter selects the policy: "" (disabled), RateAdaptFixed,
+	// RateAdaptARF or RateAdaptFD.
+	Adapter string `json:"adapter"`
+	// FadeRho is the per-chunk Gauss-Markov correlation of each tag's
+	// fading process, in [0, 1). Zero disables fading: the channel
+	// holds the static geometry SNR, which (with the fixed adapter and
+	// a single 1x rate) reproduces the static engine bit for bit.
+	FadeRho float64 `json:"fade_rho"`
+	// Rates is the rate table (default rateadapt.DefaultRates). Mult
+	// must be strictly increasing and ReqSNRdB non-decreasing.
+	Rates []rateadapt.RateSpec `json:"rates"`
+	// UpAfter is the consecutive-success count before a step up
+	// (default 5 for fd — per-chunk ACKs — and 3 for arf frames).
+	UpAfter int `json:"up_after"`
+	// DownAfter is the consecutive-failure count before arf steps down
+	// (default 1; fd steps down on every NACK regardless).
+	DownAfter int `json:"down_after"`
+}
+
+func (r RateAdaptSpec) enabled() bool { return r.Adapter != "" }
+
+func (r *RateAdaptSpec) applyDefaults() {
+	if !r.enabled() {
+		return
+	}
+	if len(r.Rates) == 0 {
+		r.Rates = append([]rateadapt.RateSpec(nil), rateadapt.DefaultRates...)
+	}
+	// Only the zero value takes the default: a negative threshold must
+	// survive to Validate and be rejected there, not silently coerced.
+	if r.UpAfter == 0 {
+		if r.Adapter == RateAdaptFD {
+			r.UpAfter = 5
+		} else {
+			r.UpAfter = 3
+		}
+	}
+	if r.DownAfter == 0 {
+		r.DownAfter = 1
+	}
+}
+
+// validate rejects degenerate knobs with actionable errors instead of
+// letting NaNs or inverted rate tables propagate silently.
+func (r RateAdaptSpec) validate() error {
+	if !r.enabled() {
+		if r.FadeRho != 0 || len(r.Rates) != 0 || r.UpAfter != 0 || r.DownAfter != 0 {
+			return fmt.Errorf("netsim: rate_adapt fields set without an adapter (set rate_adapt.adapter to %s, %s or %s)",
+				RateAdaptFixed, RateAdaptARF, RateAdaptFD)
+		}
+		return nil
+	}
+	switch r.Adapter {
+	case RateAdaptFixed, RateAdaptARF, RateAdaptFD:
+	default:
+		return fmt.Errorf("netsim: unknown rate adapter %q (want %s, %s or %s)",
+			r.Adapter, RateAdaptFixed, RateAdaptARF, RateAdaptFD)
+	}
+	// The negated comparison also rejects NaN, which would otherwise
+	// pass every < / >= test and poison the fading recursion.
+	if !(r.FadeRho >= 0 && r.FadeRho < 1) {
+		return fmt.Errorf("netsim: fade rho %g outside [0, 1) (0 disables fading; 1 would freeze the process)", r.FadeRho)
+	}
+	for i, rt := range r.Rates {
+		if !(rt.Mult > 0) {
+			return fmt.Errorf("netsim: rate %d (%s) multiplier %g must be positive", i, rt.Name, rt.Mult)
+		}
+		if i > 0 && !(rt.Mult > r.Rates[i-1].Mult) {
+			return fmt.Errorf("netsim: rate table multipliers must be strictly increasing (rate %d %s has %g after %g)",
+				i, rt.Name, rt.Mult, r.Rates[i-1].Mult)
+		}
+		if !(rt.ReqSNRdB >= -30 && rt.ReqSNRdB <= 60) {
+			return fmt.Errorf("netsim: rate %d (%s) required SNR %g dB outside [-30, 60]", i, rt.Name, rt.ReqSNRdB)
+		}
+		if i > 0 && rt.ReqSNRdB < r.Rates[i-1].ReqSNRdB {
+			return fmt.Errorf("netsim: rate table SNR requirements must be non-decreasing (rate %d %s requires %g dB after %g)",
+				i, rt.Name, rt.ReqSNRdB, r.Rates[i-1].ReqSNRdB)
+		}
+	}
+	if r.UpAfter < 0 || r.DownAfter < 0 {
+		return fmt.Errorf("netsim: rate_adapt up_after %d / down_after %d must be non-negative (0 takes the default)", r.UpAfter, r.DownAfter)
+	}
+	return nil
+}
+
+// fixedIndex is the rate RateAdaptFixed pins: the entry whose multiplier
+// is nearest 1x on a ratio scale (ties go to the slower rate).
+func (r RateAdaptSpec) fixedIndex() int {
+	best, bestD := 0, math.Inf(1)
+	for i, rt := range r.Rates {
+		if d := math.Abs(math.Log(rt.Mult)); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// newAdapter builds one tag's policy instance (after defaults).
+func (r RateAdaptSpec) newAdapter() rateadapt.Adapter {
+	n := len(r.Rates)
+	switch r.Adapter {
+	case RateAdaptARF:
+		return &rateadapt.ARF{NumRates: n, UpAfter: r.UpAfter, DownAfter: r.DownAfter}
+	case RateAdaptFD:
+		return &rateadapt.FullDuplex{NumRates: n, UpAfter: r.UpAfter}
+	default:
+		i := r.fixedIndex()
+		return &rateadapt.Fixed{Index: i, RateName: r.Rates[i].Name}
+	}
+}
+
+// fadeSeed derives the per-tag fading stream seed as a pure hash of the
+// run seed and the tag index — deliberately outside the engine's split
+// tree, so enabling rate adaptation never shifts any stream the static
+// engine draws (the byte-identity contract for pre-existing scenarios).
+func fadeSeed(seed uint64, tag int) uint64 {
+	x := simrand.Mix64(seed ^ 0x66616465) // "fade"
+	return simrand.Mix64(x ^ (uint64(tag) + 0x9e3779b97f4a7c15))
+}
+
+// fadingLoss implements mac.Loss for one tag under closed-loop rate
+// adaptation. Each Chunk call advances the Gauss-Markov fading process
+// one chunk-time (exactly the rateadapt.RunTrace recursion), reads the
+// adapter's current rate, and loses the chunk with the instantaneous
+// per-rate SNR-cliff probability; the resulting ACK/NACK feeds the
+// adapter back (per chunk for fd, ignored by fixed/arf).
+//
+// The loss draw itself rides the tag's existing IIDLoss stream (the
+// probability is rewritten before each draw), so with FadeRho = 0 and a
+// single 1x rate at the scenario cliff the draw sequence — and therefore
+// the whole run — is bit-for-bit the static engine's. The fading and
+// feedback-flip draws come from the dedicated per-tag fade source and
+// are only consumed when fading (rho > 0) or fd feedback is in play.
+type fadingLoss struct {
+	rates   []rateadapt.RateSpec
+	adapter rateadapt.Adapter
+	loss    *mac.IIDLoss
+	fadeSrc *simrand.Source
+	rho     float64
+	fdFB    bool // adapter consumes per-chunk feedback (fd)
+
+	// Link quality, re-derived per epoch by deriveLinks (the fading
+	// state h deliberately persists across epochs: mobility moves the
+	// mean, not the small-scale process).
+	meanSNRdB float64
+	fbBER     float64
+
+	h      complex128
+	gainDB float64
+
+	// Per-frame scratch, reset by beginFrame and read by the engine
+	// right after each MAC exchange.
+	frameChunks  int64
+	frameInvMult float64
+	frameLost    int64
+
+	// Whole-run accumulators, drained into TagStats at the end.
+	rateChunks []int64
+	rateLost   []int64
+	invMultSum float64
+	chunks     int64
+	lost       int64
+	switches   int64
+	lagChunks  int64
+	prevRate   int
+}
+
+// newFadingLoss builds one tag's adaptation state. It allocates
+// everything up front so the round loop stays allocation-free.
+func newFadingLoss(spec RateAdaptSpec, loss *mac.IIDLoss, seed uint64) *fadingLoss {
+	f := &fadingLoss{
+		rates:      spec.Rates,
+		adapter:    spec.newAdapter(),
+		loss:       loss,
+		fadeSrc:    simrand.New(seed),
+		rho:        spec.FadeRho,
+		fdFB:       spec.Adapter == RateAdaptFD,
+		rateChunks: make([]int64, len(spec.Rates)),
+		rateLost:   make([]int64, len(spec.Rates)),
+	}
+	if f.rho > 0 {
+		f.h = f.fadeSrc.RayleighCoeff(1)
+		f.gainDB = rateadapt.FadeGainDB(f.h)
+	}
+	f.prevRate = f.adapter.Rate()
+	return f
+}
+
+// advance steps the fading process one chunk-time. With rho = 0 the
+// channel is static (gainDB stays 0) and no randomness is consumed.
+func (f *fadingLoss) advance() {
+	if f.rho == 0 {
+		return
+	}
+	f.h = rateadapt.FadeStep(f.h, f.rho, f.fadeSrc)
+	f.gainDB = rateadapt.FadeGainDB(f.h)
+}
+
+// oracleRate is the highest rate whose requirement the instantaneous
+// SNR meets (the below-50%-loss side of the cliff), or the lowest rate
+// when none qualifies — the reference a clairvoyant adapter would pick,
+// used for the adaptation-lag diagnostic.
+func (f *fadingLoss) oracleRate(snrDB float64) int {
+	best := 0
+	for i := range f.rates {
+		if snrDB >= f.rates[i].ReqSNRdB {
+			best = i
+		}
+	}
+	return best
+}
+
+// beginFrame resets the per-frame accumulators before a MAC exchange.
+func (f *fadingLoss) beginFrame() {
+	f.frameChunks, f.frameInvMult, f.frameLost = 0, 0, 0
+}
+
+// Chunk implements mac.Loss.
+func (f *fadingLoss) Chunk() bool {
+	f.advance()
+	ri := f.adapter.Rate()
+	if ri != f.prevRate {
+		f.switches++
+		f.prevRate = ri
+	}
+	r := f.rates[ri]
+	snr := f.meanSNRdB + f.gainDB
+	f.loss.P = rateadapt.ChunkLossProb(r, snr)
+	lostChunk := f.loss.Chunk()
+
+	f.frameChunks++
+	f.frameInvMult += 1 / r.Mult
+	f.chunks++
+	f.invMultSum += 1 / r.Mult
+	f.rateChunks[ri]++
+	if lostChunk {
+		f.rateLost[ri]++
+		f.frameLost++
+		f.lost++
+	}
+	if ri != f.oracleRate(snr) {
+		f.lagChunks++
+	}
+
+	fb := !lostChunk
+	if f.fdFB && f.fbBER > 0 && f.fadeSrc.Bool(f.fbBER) {
+		fb = !fb
+	}
+	f.adapter.OnChunk(fb)
+	return lostChunk
+}
+
+// Idle implements mac.Loss: the channel keeps fading while the tag
+// backs off (one process step per chunk-time, as in the trace model).
+func (f *fadingLoss) Idle(n int) {
+	for i := 0; i < n; i++ {
+		f.advance()
+	}
+}
+
+// frameExtraBytes converts the rates used during the last MAC exchange
+// into an airtime correction: a chunk at multiplier m occupies
+// chunkAir/m byte-times instead of chunkAir, so the exchange's elapsed
+// and transmitted airtime shift by chunkAir*(sum(1/m) - chunks). All
+// 1x chunks make this exactly zero.
+func (f *fadingLoss) frameExtraBytes(chunkAir int64) int64 {
+	return int64(math.Round(float64(chunkAir) * (f.frameInvMult - float64(f.frameChunks))))
+}
+
+// endFrame reports end-of-frame feedback to the adapter: a frame is
+// "clean" only when it was delivered with no chunk lost anywhere in the
+// exchange — the signal a half-duplex prober reads off the missing ACK.
+func (f *fadingLoss) endFrame(delivered bool) {
+	f.adapter.OnFrame(delivered && f.frameLost == 0)
+}
+
+// drainInto copies the run's accumulated adaptation statistics into the
+// tag's stats at the end of a run.
+func (f *fadingLoss) drainInto(ts *TagStats) {
+	ts.RateChunks = f.rateChunks
+	ts.RateLostChunks = f.rateLost
+	ts.RateSwitches = f.switches
+	ts.AdaptChunks = f.chunks
+	ts.AdaptLagChunks = f.lagChunks
+	if f.invMultSum > 0 {
+		ts.MeanRateMult = float64(f.chunks) / f.invMultSum
+	}
+}

@@ -45,6 +45,12 @@ type Scenario struct {
 	// drift). The zero value is a static deployment.
 	Mobility MobilitySpec `json:"mobility"`
 
+	// RateAdapt configures optional closed-loop per-tag rate adaptation
+	// over a time-varying fading channel (fixed / arf frame probing /
+	// fd per-chunk). The zero value keeps the static geometry-derived
+	// chunk loss — byte-for-byte the engine's pre-adaptation behaviour.
+	RateAdapt RateAdaptSpec `json:"rate_adapt"`
+
 	// RF plant.
 
 	// FreqHz is the carrier frequency (default 915 MHz).
@@ -166,6 +172,7 @@ func (s *Scenario) ApplyDefaults() {
 	}
 	s.Readers.applyDefaults(s.RadiusM)
 	s.Mobility.applyDefaults(s.RadiusM)
+	s.RateAdapt.applyDefaults()
 	if s.FreqHz <= 0 {
 		s.FreqHz = 915e6
 	}
@@ -269,6 +276,9 @@ func (s Scenario) Validate() error {
 	if err := s.Mobility.validate(); err != nil {
 		return err
 	}
+	if err := s.RateAdapt.validate(); err != nil {
+		return err
+	}
 	if s.Rho < 0 || s.Rho > 1 {
 		return fmt.Errorf("netsim: rho %g outside [0, 1]", s.Rho)
 	}
@@ -320,6 +330,17 @@ var presets = map[string]Scenario{
 		Name: "mobile-fleet", Tags: 24, Topology: TopologyUniformDisc, RadiusM: 30,
 		TxPowerW: 0.25, CapacitanceF: 10e-6, OfferedLoad: 0.3, MaxRounds: 160,
 		Mobility: MobilitySpec{Model: MobilityWaypoint, StepM: 1.5, EpochRounds: 4},
+	},
+	// fading-aisle is the rate-adaptation showcase: a strong carrier
+	// over a raised noise floor puts the population mid-rate-table
+	// (edge tags ~21 dB), the long feedback averaging window keeps the
+	// backscatter feedback decodable across the cell, and the large
+	// capacitor keeps slow-rate warm-up from browning tags out.
+	"fading-aisle": {
+		Name: "fading-aisle", Tags: 16, Topology: TopologyUniformDisc, RadiusM: 12,
+		TxPowerW: 1.0, NoiseW: 1e-8, Rho: 0.9, FeedbackSamplesPerBit: 131072,
+		CapacitanceF: 47e-6, FramesPerTag: 6, MaxRounds: 96,
+		RateAdapt: RateAdaptSpec{Adapter: RateAdaptFD, FadeRho: 0.95},
 	},
 }
 

@@ -64,25 +64,42 @@ func (r *Report) Timing(id string) (ms float64, ok bool) {
 	return 0, false
 }
 
+// Delta status values (see Delta.Status).
+const (
+	// StatusAdded marks an experiment present only in the current
+	// report: new coverage, nothing to regress from.
+	StatusAdded = "added"
+	// StatusRemoved marks an experiment present only in the baseline:
+	// its timing can no longer be checked, so a renamed or deleted cell
+	// is surfaced instead of silently dodging the gate.
+	StatusRemoved = "removed"
+)
+
 // Delta is one experiment's baseline-to-current comparison.
 type Delta struct {
 	ID         string
 	BaselineMs float64
 	CurrentMs  float64
-	// Ratio is CurrentMs / BaselineMs (+Inf when the baseline is 0).
+	// Ratio is CurrentMs / BaselineMs (+Inf when the baseline is 0,
+	// including added experiments; 0 for removed ones).
 	Ratio float64
+	// Status is "" for experiments present in both reports,
+	// StatusAdded (current only) or StatusRemoved (baseline only).
+	Status string
 }
 
 // Compare matches the current report's experiments against the
-// baseline by id and returns one delta per match, sorted by
-// descending ratio. Experiments present on only one side are skipped:
-// a new experiment has no baseline to regress from, and a removed one
-// nothing to measure.
+// baseline by id and returns one delta per experiment seen on either
+// side, sorted by descending ratio. Experiments present on only one
+// side are surfaced explicitly (Status added/removed) rather than
+// skipped — a renamed bench cell shows up as one removal plus one
+// addition instead of vanishing from the comparison.
 func Compare(cur, base *Report) []Delta {
 	var out []Delta
 	for _, t := range cur.Experiments {
 		bms, ok := base.Timing(t.ID)
 		if !ok {
+			out = append(out, Delta{ID: t.ID, CurrentMs: t.Ms, Ratio: math.Inf(1), Status: StatusAdded})
 			continue
 		}
 		d := Delta{ID: t.ID, BaselineMs: bms, CurrentMs: t.Ms}
@@ -94,6 +111,11 @@ func Compare(cur, base *Report) []Delta {
 			d.Ratio = 1
 		}
 		out = append(out, d)
+	}
+	for _, t := range base.Experiments {
+		if _, ok := cur.Timing(t.ID); !ok {
+			out = append(out, Delta{ID: t.ID, BaselineMs: t.Ms, Ratio: 0, Status: StatusRemoved})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Ratio != out[j].Ratio {
@@ -125,10 +147,19 @@ type Gate struct {
 var DefaultGate = Gate{MaxRatio: 2, MinBaselineMs: 5, SlackMs: 50}
 
 // Regressions returns the deltas that violate the gate, worst first.
+// A removed experiment whose baseline clears the noise floor is itself
+// a violation: its timing can no longer be verified, so renaming a
+// bench cell cannot silently dodge the gate. Added experiments are
+// surfaced by Compare but never gate — a new cell has no baseline to
+// regress from.
 func (g Gate) Regressions(cur, base *Report) []Delta {
 	var out []Delta
 	for _, d := range Compare(cur, base) {
-		if d.BaselineMs < g.MinBaselineMs {
+		if d.Status == StatusAdded || d.BaselineMs < g.MinBaselineMs {
+			continue
+		}
+		if d.Status == StatusRemoved {
+			out = append(out, d)
 			continue
 		}
 		if d.Ratio > g.MaxRatio && d.CurrentMs-d.BaselineMs > g.SlackMs {

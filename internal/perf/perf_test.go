@@ -55,14 +55,62 @@ func TestCompareSortsWorstFirst(t *testing.T) {
 	base := report(Timing{ID: "a", Ms: 100}, Timing{ID: "b", Ms: 100}, Timing{ID: "gone", Ms: 5})
 	cur := report(Timing{ID: "a", Ms: 150}, Timing{ID: "b", Ms: 400}, Timing{ID: "new", Ms: 9})
 	ds := Compare(cur, base)
-	if len(ds) != 2 {
-		t.Fatalf("got %d deltas, want 2 (unmatched ids skipped)", len(ds))
+	if len(ds) != 4 {
+		t.Fatalf("got %d deltas, want 4 (unmatched ids surfaced as added/removed)", len(ds))
 	}
-	if ds[0].ID != "b" || ds[0].Ratio != 4 {
-		t.Fatalf("worst delta = %+v, want b at 4x", ds[0])
+	if ds[0].ID != "new" || ds[0].Status != StatusAdded {
+		t.Fatalf("first delta = %+v, want the added cell (+Inf ratio)", ds[0])
 	}
-	if ds[1].ID != "a" || ds[1].Ratio != 1.5 {
-		t.Fatalf("second delta = %+v, want a at 1.5x", ds[1])
+	if ds[1].ID != "b" || ds[1].Ratio != 4 {
+		t.Fatalf("worst matched delta = %+v, want b at 4x", ds[1])
+	}
+	if ds[2].ID != "a" || ds[2].Ratio != 1.5 {
+		t.Fatalf("second matched delta = %+v, want a at 1.5x", ds[2])
+	}
+	if ds[3].ID != "gone" || ds[3].Status != StatusRemoved || ds[3].Ratio != 0 {
+		t.Fatalf("last delta = %+v, want the removed cell at ratio 0", ds[3])
+	}
+}
+
+// Pre-fix, Compare silently skipped experiment ids present in only one
+// report and Regressions never saw them, so renaming a bench cell made
+// its timing vanish from the CI perf gate. Post-fix added and removed
+// cells surface as explicit deltas and a removed cell above the noise
+// floor fails the gate.
+func TestRenamedCellCannotDodgeGate(t *testing.T) {
+	base := report(Timing{ID: "scen-old-name", Ms: 120}, Timing{ID: "stable", Ms: 50})
+	cur := report(Timing{ID: "scen-new-name", Ms: 500}, Timing{ID: "stable", Ms: 50})
+
+	ds := Compare(cur, base)
+	var added, removed *Delta
+	for i := range ds {
+		switch ds[i].Status {
+		case StatusAdded:
+			added = &ds[i]
+		case StatusRemoved:
+			removed = &ds[i]
+		}
+	}
+	if added == nil || added.ID != "scen-new-name" || added.CurrentMs != 500 {
+		t.Fatalf("added cell not surfaced: %+v", ds)
+	}
+	if removed == nil || removed.ID != "scen-old-name" || removed.BaselineMs != 120 {
+		t.Fatalf("removed cell not surfaced: %+v", ds)
+	}
+
+	regs := DefaultGate.Regressions(cur, base)
+	if len(regs) != 1 || regs[0].ID != "scen-old-name" || regs[0].Status != StatusRemoved {
+		t.Fatalf("Regressions = %+v, want the removed scen-old-name flagged", regs)
+	}
+}
+
+// A removed cell below the gate's noise floor stays ignorable, and
+// added cells never gate: growing the suite cannot fail CI.
+func TestGateIgnoresTinyRemovalsAndAdditions(t *testing.T) {
+	base := report(Timing{ID: "tiny-gone", Ms: 1}, Timing{ID: "stable", Ms: 50})
+	cur := report(Timing{ID: "stable", Ms: 50}, Timing{ID: "brand-new", Ms: 900})
+	if regs := DefaultGate.Regressions(cur, base); len(regs) != 0 {
+		t.Fatalf("Regressions = %+v, want none", regs)
 	}
 }
 

@@ -1,0 +1,192 @@
+package rateadapt
+
+// Counter-hygiene audit of the adaptation policies (ISSUE 5 satellite):
+// streak counters must reset on every rate transition, no single
+// feedback event may move the rate by more than one step, and the rate
+// must stay inside the table. The audit model-checks the shipped
+// adapters against a straightforward reference implementation over
+// exhaustive short feedback sequences and long random ones — proving
+// the current behaviour correct rather than fixing a latent bug (the
+// satellite allows either outcome; no violation was found).
+
+import (
+	"testing"
+
+	"repro/internal/simrand"
+)
+
+// refARF is an independently written reference of the documented ARF
+// contract: step up after UpAfter consecutive clean frames, down after
+// DownAfter consecutive failed frames, streaks cleared on the opposite
+// outcome and on every transition.
+type refARF struct {
+	n, up, down    int
+	idx, good, bad int
+}
+
+func (r *refARF) onFrame(ok bool) {
+	if ok {
+		r.bad = 0
+		r.good++
+		if r.good >= r.up && r.idx < r.n-1 {
+			r.idx++
+			r.good, r.bad = 0, 0
+		}
+	} else {
+		r.good = 0
+		r.bad++
+		if r.bad >= r.down && r.idx > 0 {
+			r.idx--
+			r.good, r.bad = 0, 0
+		}
+	}
+}
+
+func TestARFMatchesReferenceExhaustively(t *testing.T) {
+	// Every feedback sequence up to length 14 over a 4-rate table: long
+	// enough to cross both boundaries repeatedly (UpAfter 3, DownAfter 1
+	// reaches the top and returns within 14 events).
+	const maxLen = 14
+	for length := 1; length <= maxLen; length++ {
+		for bits := 0; bits < 1<<length; bits++ {
+			a := NewARF(4)
+			ref := &refARF{n: 4, up: a.UpAfter, down: a.DownAfter}
+			for i := 0; i < length; i++ {
+				ok := bits>>i&1 == 1
+				prev := a.Rate()
+				a.OnFrame(ok)
+				ref.onFrame(ok)
+				if d := a.Rate() - prev; d < -1 || d > 1 {
+					t.Fatalf("seq %0*b: OnFrame moved the rate by %d in one step", length, bits, d)
+				}
+				if a.Rate() != ref.idx {
+					t.Fatalf("seq %0*b event %d: ARF at rate %d, reference at %d", length, bits, i, a.Rate(), ref.idx)
+				}
+			}
+		}
+	}
+}
+
+func TestARFCounterHygieneRandomised(t *testing.T) {
+	// Long random feedback streams over several table sizes and
+	// thresholds; beyond matching the reference the internal streaks
+	// must stay bounded and mutually exclusive after every event.
+	src := simrand.New(99)
+	for _, n := range []int{2, 3, 4, 8} {
+		for _, up := range []int{1, 2, 3, 5} {
+			for _, down := range []int{1, 2, 3} {
+				a := &ARF{NumRates: n, UpAfter: up, DownAfter: down}
+				ref := &refARF{n: n, up: up, down: down}
+				for i := 0; i < 20000; i++ {
+					ok := src.Bool(0.5)
+					a.OnFrame(ok)
+					ref.onFrame(ok)
+					if a.Rate() != ref.idx {
+						t.Fatalf("n=%d up=%d down=%d event %d: rate %d, reference %d", n, up, down, i, a.Rate(), ref.idx)
+					}
+					if a.Rate() < 0 || a.Rate() >= n {
+						t.Fatalf("rate %d escaped [0, %d)", a.Rate(), n)
+					}
+					if a.goodStreak > 0 && a.badStreak > 0 {
+						t.Fatalf("event %d: both streaks active (%d good, %d bad)", i, a.goodStreak, a.badStreak)
+					}
+					// A streak at or past its threshold may only persist
+					// when the step it would trigger is blocked by the
+					// table edge; anywhere else it must have stepped and
+					// reset.
+					if a.goodStreak >= up && a.idx < n-1 {
+						t.Fatalf("event %d: good streak %d survived below the top rate", i, a.goodStreak)
+					}
+					if a.badStreak >= down && a.idx > 0 {
+						t.Fatalf("event %d: bad streak %d survived above the bottom rate", i, a.badStreak)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The FD per-chunk adapter obeys the same hygiene: one NACK steps down
+// exactly one rate and clears the ACK streak; UpAfter ACKs step up
+// exactly one rate and clear it too.
+func TestFullDuplexCounterHygiene(t *testing.T) {
+	src := simrand.New(7)
+	a := NewFullDuplex(4)
+	for i := 0; i < 20000; i++ {
+		prev := a.Rate()
+		ok := src.Bool(0.6)
+		a.OnChunk(ok)
+		if d := a.Rate() - prev; d < -1 || d > 1 {
+			t.Fatalf("event %d: OnChunk moved the rate by %d", i, d)
+		}
+		if a.Rate() < 0 || a.Rate() >= a.NumRates {
+			t.Fatalf("rate %d escaped the table", a.Rate())
+		}
+		if !ok && a.goodStreak != 0 {
+			t.Fatalf("event %d: NACK left a good streak of %d", i, a.goodStreak)
+		}
+		if a.goodStreak >= a.UpAfter && a.Rate() < a.NumRates-1 {
+			t.Fatalf("event %d: streak %d survived below the top rate", i, a.goodStreak)
+		}
+	}
+}
+
+// The paper's core timing claim, isolated from the network engine: after
+// a step SNR drop that only the lowest rate survives, the FD per-chunk
+// adapter reaches the floor within one frame of chunks, while ARF —
+// learning once per frame — needs at least DownAfter frames per rate
+// step, i.e. >= DownAfter frames overall and (steps * DownAfter) frames
+// to converge.
+func TestAdaptationLagAfterStepDrop(t *testing.T) {
+	const frameChunks = 24
+	n := len(DefaultRates)
+
+	// Drive both adapters to the top rate under a clean channel.
+	fd := NewFullDuplex(n)
+	for fd.Rate() < n-1 {
+		fd.OnChunk(true)
+	}
+	arf := &ARF{NumRates: n, UpAfter: 3, DownAfter: 2}
+	for arf.Rate() < n-1 {
+		arf.OnFrame(true)
+	}
+
+	// Step drop: from now on only rate 0 succeeds.
+	lost := func(rate int) bool { return rate > 0 }
+
+	fdChunks := 0
+	for fd.Rate() != 0 {
+		fd.OnChunk(!lost(fd.Rate()))
+		fdChunks++
+		if fdChunks > 10*frameChunks {
+			t.Fatal("FD adapter never converged")
+		}
+	}
+	if fdChunks > frameChunks {
+		t.Fatalf("FD took %d chunks to converge; must be within one frame (%d chunks)", fdChunks, frameChunks)
+	}
+
+	arfFrames := 0
+	for arf.Rate() != 0 {
+		// ARF holds its rate for the whole frame and learns only from
+		// the end-of-frame verdict.
+		clean := !lost(arf.Rate())
+		arf.OnFrame(clean)
+		arfFrames++
+		if arfFrames > 100 {
+			t.Fatal("ARF adapter never converged")
+		}
+	}
+	if arfFrames < arf.DownAfter {
+		t.Fatalf("ARF converged in %d frames, impossibly under DownAfter %d", arfFrames, arf.DownAfter)
+	}
+	wantFrames := (n - 1) * arf.DownAfter
+	if arfFrames != wantFrames {
+		t.Fatalf("ARF took %d frames to descend %d steps at DownAfter %d, want %d", arfFrames, n-1, arf.DownAfter, wantFrames)
+	}
+	// The claim in chunk-times: FD converges in < 1 frame, ARF in
+	// several whole frames.
+	if fdChunks >= arfFrames*frameChunks {
+		t.Fatalf("FD (%d chunks) must converge faster than ARF (%d frames x %d chunks)", fdChunks, arfFrames, frameChunks)
+	}
+}

@@ -18,15 +18,16 @@ import (
 	"repro/internal/simrand"
 )
 
-// RateSpec describes one rate-table entry.
+// RateSpec describes one rate-table entry. The JSON tags let scenario
+// files (internal/netsim) declare custom rate tables as data.
 type RateSpec struct {
 	// Name for tables.
-	Name string
+	Name string `json:"name"`
 	// Mult is the speed multiplier relative to the base rate.
-	Mult float64
+	Mult float64 `json:"mult"`
 	// ReqSNRdB is the SNR at which chunk loss is 50%; loss falls
 	// steeply above it.
-	ReqSNRdB float64
+	ReqSNRdB float64 `json:"req_snr_db"`
 }
 
 // DefaultRates is the standard 4-rate table, matching the forward-link
@@ -44,6 +45,21 @@ var DefaultRates = []RateSpec{
 // coded chunks.
 func ChunkLossProb(r RateSpec, snrDB float64) float64 {
 	return 1 / (1 + math.Exp((snrDB-r.ReqSNRdB)/0.5))
+}
+
+// FadeStep advances a unit-mean-power Gauss-Markov fading coefficient
+// one chunk-time: h' = rho*h + CN(0, 1-rho^2). This is the trace
+// model's recursion, exported so other engines (the netsim scenario
+// engine) evolve exactly the same channel.
+func FadeStep(h complex128, rho float64, src *simrand.Source) complex128 {
+	return complex(rho, 0)*h + src.RayleighCoeff(1-rho*rho)
+}
+
+// FadeGainDB is a fading coefficient's instantaneous power gain in dB,
+// floored at -90 dB exactly as the trace model floors it.
+func FadeGainDB(h complex128) float64 {
+	gain := real(h * cmplx.Conj(h))
+	return 10 * math.Log10(math.Max(gain, 1e-9))
 }
 
 // Adapter selects the transmission rate index and learns from feedback.
@@ -252,9 +268,8 @@ func RunTrace(cfg SimConfig, a Adapter, nChunks int) TraceResult {
 	prevRate := a.Rate()
 	for i := 0; i < nChunks; i++ {
 		// Advance the fading process one chunk-time.
-		h = complex(rho, 0)*h + src.RayleighCoeff(1-rho*rho)
-		gain := real(h * cmplx.Conj(h))
-		snrDB := cfg.MeanSNRdB + 10*math.Log10(math.Max(gain, 1e-9))
+		h = FadeStep(h, rho, src)
+		snrDB := cfg.MeanSNRdB + FadeGainDB(h)
 
 		ri := a.Rate()
 		if ri != prevRate {

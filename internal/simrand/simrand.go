@@ -26,6 +26,19 @@ func New(seed uint64) *Source {
 	return &Source{rng: rand.New(pcg), pcg: pcg}
 }
 
+// Mix64 is the splitmix64 finalizer: a bijective avalanche over uint64,
+// shared by every sub-seed derivation in the simulator (the bench
+// harness's per-cell seeds, netsim's per-tag fade seeds) so they all
+// decorrelate seeds with exactly the same mix.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // Reseed resets the source to the state New(seed) would produce, without
 // allocating. Hot loops that need a fresh deterministic stream per item
 // (e.g. one per frame) can keep one Source and reseed it.
