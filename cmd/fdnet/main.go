@@ -12,16 +12,23 @@
 //	fdnet -preset fading-aisle -rateadapt arf       # swap the policy
 //	fdnet -preset warehouse -rateadapt fd -faderho 0.95
 //	fdnet -preset lab-bench -format csv -seed 7
+//	fdnet -preset warehouse -workers 8      # shard the engine
+//	fdnet -preset million -analytic -summary
 //
 // Overrides (-tags, -topology, -radius, -load, -protocol, -readers,
-// -scheduling, -mobility, -rateadapt, -faderho) apply on top of the
-// preset or file; everything else comes from the scenario. Runs are
-// deterministic: same scenario + seed, same output.
+// -scheduling, -mobility, -rateadapt, -faderho, -analytic) apply on
+// top of the preset or file; everything else comes from the scenario.
+// Runs are deterministic: same scenario + seed, same output — at ANY
+// -workers count (sharding changes who computes, never what). The
+// resolved worker count goes to stderr so stdout stays byte-stable.
+// -summary skips the per-tag table (a million-tag table is ~100 MB)
+// and prints only the aggregate block.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/netsim"
@@ -45,6 +52,9 @@ func main() {
 		mobility   = flag.Float64("mobility", 0, "enable waypoint mobility with this drift step (m/epoch)")
 		rateadapt  = flag.String("rateadapt", "", "enable closed-loop rate adaptation with this policy (fixed, arf, fd)")
 		fadeRho    = flag.Float64("faderho", -1, "override the per-chunk fading correlation, in [0, 1)")
+		workers    = flag.Int("workers", 0, "engine workers (0 = one per CPU); the result is identical at any count")
+		analytic   = flag.Bool("analytic", false, "use the closed-form analytic engine (delivery-tight, airtime-optimistic)")
+		summary    = flag.Bool("summary", false, "print only the aggregate block, not the per-tag table")
 	)
 	flag.Parse()
 
@@ -116,14 +126,31 @@ func main() {
 	if *fadeRho >= 0 {
 		sc.RateAdapt.FadeRho = *fadeRho
 	}
+	if *analytic {
+		sc.Analytic = true
+	}
 
-	res, err := netsim.Run(sc, *seed)
+	nw := netsim.ResolveWorkers(*workers)
+	engine := "exact"
+	if sc.Analytic {
+		engine = "analytic"
+	}
+	// Run header goes to stderr: stdout is the deterministic artifact
+	// (byte-identical at any worker count) and must not depend on the
+	// machine's CPU count.
+	fmt.Fprintf(os.Stderr, "fdnet: %s seed=%d workers=%d engine=%s\n", sc.Name, *seed, nw, engine)
+
+	res, err := netsim.RunParallel(sc, *seed, nw)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
 	adapt := res.Scenario.RateAdapt.Adapter != ""
+	if *summary {
+		printAggregates(res, os.Stdout)
+		return
+	}
 	cols := []string{"tag", "reader", "dist_m", "snr_db", "chunk_loss", "fb_ber",
 		"offered", "delivered", "dropped", "collisions", "outage", "alive"}
 	if adapt {
@@ -157,24 +184,30 @@ func main() {
 		os.Exit(1)
 	}
 	if *format != "csv" {
-		if len(res.Readers) > 1 {
-			fmt.Printf("\nreaders (%s):\n", res.Scenario.Readers.Scheduling)
-			for _, r := range res.Readers {
-				fmt.Printf("  reader %d at (%+.1f, %+.1f): %d tags, delivered %d, slots single/collision %d/%d\n",
-					r.ID, r.X, r.Y, r.AssociatedTags, r.FramesDelivered,
-					r.SingletonSlots, r.CollisionSlots)
-			}
+		printAggregates(res, os.Stdout)
+	}
+}
+
+// printAggregates writes the reader and cell-level summary block — the
+// whole output in -summary mode, the table's tail otherwise.
+func printAggregates(res *netsim.NetResult, w io.Writer) {
+	if len(res.Readers) > 1 {
+		fmt.Fprintf(w, "\nreaders (%s):\n", res.Scenario.Readers.Scheduling)
+		for _, r := range res.Readers {
+			fmt.Fprintf(w, "  reader %d at (%+.1f, %+.1f): %d tags, delivered %d, slots single/collision %d/%d\n",
+				r.ID, r.X, r.Y, r.AssociatedTags, r.FramesDelivered,
+				r.SingletonSlots, r.CollisionSlots)
 		}
-		fmt.Printf("\nrounds %d  slots idle/single/collision %d/%d/%d  elapsed %d B (%.3f s)\n",
-			res.Rounds, res.IdleSlots, res.SingletonSlots, res.CollisionSlots,
-			res.ElapsedBytes, res.SimulatedS)
-		fmt.Printf("delivered %d/%d frames (%.3f), throughput %.4f B/B, collisions %.3f, fairness %.3f, alive %.2f\n",
-			res.FramesDelivered, res.FramesOffered, res.DeliveryRate(),
-			res.Throughput(), res.CollisionFraction(), res.FairnessIndex(), res.AliveFraction())
-		if res.Scenario.RateAdapt.Adapter != "" {
-			fmt.Printf("rate adaptation (%s, fade rho %.3g): mean mult %.2fx, %d switches, lag %.3f over %d chunks\n",
-				res.Scenario.RateAdapt.Adapter, res.Scenario.RateAdapt.FadeRho,
-				res.MeanRateMult(), res.RateSwitches, res.AdaptLagFraction(), res.AdaptChunks)
-		}
+	}
+	fmt.Fprintf(w, "\nrounds %d  slots idle/single/collision %d/%d/%d  elapsed %d B (%.3f s)\n",
+		res.Rounds, res.IdleSlots, res.SingletonSlots, res.CollisionSlots,
+		res.ElapsedBytes, res.SimulatedS)
+	fmt.Fprintf(w, "delivered %d/%d frames (%.3f), throughput %.4f B/B, collisions %.3f, fairness %.3f, alive %.2f\n",
+		res.FramesDelivered, res.FramesOffered, res.DeliveryRate(),
+		res.Throughput(), res.CollisionFraction(), res.FairnessIndex(), res.AliveFraction())
+	if res.Scenario.RateAdapt.Adapter != "" {
+		fmt.Fprintf(w, "rate adaptation (%s, fade rho %.3g): mean mult %.2fx, %d switches, lag %.3f over %d chunks\n",
+			res.Scenario.RateAdapt.Adapter, res.Scenario.RateAdapt.FadeRho,
+			res.MeanRateMult(), res.RateSwitches, res.AdaptLagFraction(), res.AdaptChunks)
 	}
 }

@@ -172,6 +172,15 @@ func RunScenario(sc Scenario, seed uint64) (*NetResult, error) {
 	return netsim.Run(sc, seed)
 }
 
+// RunScenarioParallel is RunScenario with an explicit engine worker
+// count (0 or negative uses all CPUs). The result is byte-identical to
+// RunScenario at any worker count: sharding only changes which
+// goroutine executes each reader cell and tag range, never what they
+// compute or which random stream they draw.
+func RunScenarioParallel(sc Scenario, seed uint64, workers int) (*NetResult, error) {
+	return netsim.RunParallel(sc, seed, workers)
+}
+
 // ScenarioPreset returns a built-in scenario by name; ScenarioPresets
 // lists the available names.
 func ScenarioPreset(name string) (Scenario, error) { return netsim.Preset(name) }

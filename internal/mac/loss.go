@@ -36,6 +36,15 @@ func NewIIDLoss(p float64, src *simrand.Source) *IIDLoss {
 	return &IIDLoss{P: p, src: src.Split()}
 }
 
+// NewIIDLossUsing returns an iid chunk loss process drawing directly
+// from src, without splitting a child off it. For engines that manage
+// per-entity stream state themselves (netsim loads a tag's saved stream
+// into a worker's scratch Source around each exchange), the split would
+// discard the loaded state.
+func NewIIDLossUsing(p float64, src *simrand.Source) *IIDLoss {
+	return &IIDLoss{P: p, src: src}
+}
+
 // Chunk implements Loss.
 func (l *IIDLoss) Chunk() bool { return l.src.Bool(l.P) }
 

@@ -85,6 +85,14 @@ func (p Params) FrameAirBytes() int {
 	return p.HeaderBytes + p.NumChunks()*p.chunkAir()
 }
 
+// AckAirBytes returns the half-duplex acknowledgement airtime, after
+// defaults — exposed for closed-form airtime models of the half-duplex
+// protocols.
+func (p Params) AckAirBytes() int {
+	p.applyDefaults()
+	return p.AckBytes
+}
+
 // Result accumulates protocol statistics over a run.
 type Result struct {
 	Protocol        string
@@ -332,6 +340,27 @@ type FullDuplex struct {
 
 // Name implements Protocol.
 func (s *FullDuplex) Name() string { return "full-duplex" }
+
+// Prime preallocates the instance's internal scratch for the configured
+// Params so even the first Run call is allocation-free. Engines that
+// keep one instance per worker call it at setup; without it, which
+// worker pays the first-frame allocation would depend on scheduling,
+// breaking their allocation accounting (never their results).
+func (s *FullDuplex) Prime() {
+	p := s.P
+	p.applyDefaults()
+	if s.src == nil {
+		s.src = simrand.New(s.Seed ^ 0xfdb5)
+	}
+	n := p.NumChunks()
+	if cap(s.delivered) < n {
+		s.delivered = make([]bool, n)
+		s.believed = make([]bool, n)
+	}
+	if cap(s.queue) < n {
+		s.queue = make([]int, 0, n)
+	}
+}
 
 // Run implements Protocol.
 func (s *FullDuplex) Run(nFrames int, loss Loss) Result {

@@ -59,3 +59,44 @@ func TestRoundLoopAllocFreeWithRateAdapt(t *testing.T) {
 			extra, extra/200)
 	}
 }
+
+// The sharded round loop must hold the same budget at every worker
+// count: worker scratch (protocol instances, stream-loading sources,
+// slot histograms) is allocated at pool start and the dispatch
+// machinery reuses one channel and one WaitGroup, so extra rounds
+// contribute zero allocations even with helpers running. Mobility and
+// rate adaptation are both on so every parallel phase executes.
+func TestShardedRoundLoopAllocFree(t *testing.T) {
+	scenario := func(rounds int) Scenario {
+		return Scenario{
+			Name: "alloc-budget-sharded", Tags: 96, Topology: TopologyUniformDisc,
+			RadiusM: 12, TxPowerW: 1.0, NoiseW: 1e-8, Rho: 0.9,
+			FeedbackSamplesPerBit: 131072, CapacitanceF: 47e-6,
+			OfferedLoad: 0.3, MaxRounds: rounds,
+			Readers:   ReaderSpec{Count: 4, Placement: ReaderGrid, SpacingM: 10},
+			Mobility:  MobilitySpec{Model: MobilityWaypoint, StepM: 1, EpochRounds: 4},
+			RateAdapt: RateAdaptSpec{Adapter: RateAdaptFD, FadeRho: 0.95},
+		}
+	}
+	for _, workers := range []int{2, 4} {
+		measure := func(rounds int) float64 {
+			sc := scenario(rounds)
+			return testing.AllocsPerRun(5, func() {
+				if _, err := RunParallel(sc, 7, workers); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+		short := measure(50)
+		long := measure(250)
+		// Helper goroutines park/unpark on the dispatch channel and the
+		// WaitGroup semaphore, whose runtime bookkeeping (sudog cache
+		// fills, stack growth) shows up as a few one-off global mallocs
+		// at unpredictable times. Bound well below one alloc per round:
+		// a genuine round-loop allocation would add at least 200.
+		if extra := long - short; extra > 10 || extra < -10 {
+			t.Fatalf("workers=%d: 200 extra rounds allocated %.1f objects (%.3f/round); the sharded round loop must not allocate",
+				workers, extra, extra/200)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package netsim
+
+// Analytic-mode fidelity contract (see analytic.go): delivery rate
+// tracks the exact engine tightly, throughput is an optimistic bound
+// within a pinned factor. These tolerances are deliberately asserted on
+// both sides — if the analytic model drifts pessimistic, or the bound
+// loosens past its documented factor, something changed in one of the
+// engines and the contract must be re-derived, not just re-pinned.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyticMatchesExactWithinTolerance(t *testing.T) {
+	// Presets spanning closed loop, open loop, multi-reader cells, and
+	// fading with rate adaptation.
+	for _, name := range []string{"warehouse", "retail-shelf", "mall-cells", "fading-aisle"} {
+		sc, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := RunParallel(sc, 7, 4)
+		if err != nil {
+			t.Fatalf("%s exact: %v", name, err)
+		}
+		sc.Analytic = true
+		an, err := RunParallel(sc, 7, 4)
+		if err != nil {
+			t.Fatalf("%s analytic: %v", name, err)
+		}
+
+		// Delivery: the closed-form per-frame delivery probabilities are
+		// exact under iid chunk loss, so only sampling noise separates
+		// the two engines.
+		if d := math.Abs(an.DeliveryRate() - exact.DeliveryRate()); d > 0.02 {
+			t.Errorf("%s: delivery rate diverged by %.4f (exact %.4f, analytic %.4f; tolerance 0.02)",
+				name, d, exact.DeliveryRate(), an.DeliveryRate())
+		}
+
+		// Throughput: analytic airtime omits abort backoffs, false-ACK
+		// resyncs, and adaptation warm-up, so it bounds the exact
+		// throughput from above — by at most 2.2x on these presets — and
+		// must never undershoot it by more than 5%.
+		ratio := an.Throughput() / exact.Throughput()
+		if ratio < 0.95 || ratio > 2.2 {
+			t.Errorf("%s: analytic/exact throughput ratio %.3f outside [0.95, 2.2] (exact %.4f, analytic %.4f)",
+				name, ratio, exact.Throughput(), an.Throughput())
+		}
+
+		// Closed-loop offered traffic is fixed at setup, so it must agree
+		// exactly. (Open-loop arrivals can legitimately diverge: analytic
+		// airtime shifts the energy settlement, which can move a marginal
+		// tag's death round and with it the frames offered to it.)
+		if sc.OfferedLoad == 0 && an.FramesOffered != exact.FramesOffered {
+			t.Errorf("%s: closed-loop frames offered diverged (exact %d, analytic %d)",
+				name, exact.FramesOffered, an.FramesOffered)
+		}
+	}
+}

@@ -26,20 +26,36 @@
 // full-duplex per-chunk feedback — with chunk loss drawn from the
 // instantaneous per-rate SNR cliff.
 //
-// Determinism: a run is a pure function of (Scenario, seed). All
-// randomness flows from one simrand tree split in a fixed order, the
-// engine is single-goroutine, and tags are iterated by index — so runs
-// embed directly as cells in the bench worker pool with byte-identical
-// output at any worker count. The per-round hot path is allocation-free:
-// tag state lives in one flat array, contention scratch is reused across
-// rounds and readers, and the only per-frame cost beyond arithmetic is
-// the MAC protocol run itself (whose scratch is reused too), so
-// thousand-tag multi-reader runs complete in seconds.
+// Determinism: a run is a pure function of (Scenario, seed) at ANY
+// worker count. All randomness flows from one simrand tree split in a
+// fixed order. The shared sequential streams (placement, traffic
+// arrivals, slot draws, the mobility walk) are cheap and stay serial in
+// exactly the order the single-goroutine engine consumed them; all
+// expensive randomness (chunk loss, protocol feedback, fading) lives in
+// per-tag streams whose PCG state is stored inline in the tag arrays,
+// so a reader cell executes identically on whichever worker claims it.
+// Per-cell and per-tag-shard results merge in submission order, and the
+// one floating-point accumulator whose value depends on summation order
+// (adaptInvMult) is summed serially in tag order — so NetResult is
+// byte-identical from 1 worker to N, and byte-identical to the
+// pre-sharding array-of-structs engine.
+//
+// Layout: per-tag state is struct-of-arrays (tagState) — parallel
+// slices grouped by access pattern, walked as tight loops over
+// contiguous memory — and tags are grouped per reader cell in a CSR
+// association index, which is also the unit of window-phase sharding.
+// The per-round hot path is allocation-free at every worker count:
+// worker scratch (protocol instances, slot arrays, stream-loading
+// sources) is allocated once at setup, and the worker pool is
+// persistent across rounds. An opt-in analytic fast path
+// (Scenario.Analytic) replaces per-chunk simulation with closed-form
+// expected airtime per frame; see analytic.go.
 package netsim
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/channel"
 	"repro/internal/energy"
@@ -49,26 +65,55 @@ import (
 	"repro/internal/simrand"
 )
 
-// tagNode is the engine's per-tag state, stored flat in one array so
-// the round loop walks contiguous memory.
-type tagNode struct {
-	pos      Position
-	reader   int     // serving reader (strongest carrier, re-derived per epoch)
-	carrierW float64 // serving carrier power at the tag antenna
-	harvestW float64 // total harvestable RF power (all carriers) under independent scheduling
-	params   mac.Params
-	queue    int // frames awaiting delivery
-	budget   energy.Budget
-	loss     *mac.IIDLoss
-	fade     *fadingLoss     // closed-loop rate adaptation state (nil when disabled)
-	protoSrc *simrand.Source // fresh protocol seed per transmission
-	stats    TagStats
-	alive    bool
-	dieTime  float64 // seconds at death, for lifetime stats
+// tagState is the engine's per-tag state as parallel slices (struct of
+// arrays): each round-loop pass touches only the columns it needs, so a
+// million-tag pass streams contiguous memory instead of striding over
+// one fat struct per tag.
+type tagState struct {
+	pos      []Position
+	reader   []int32   // serving reader (strongest carrier, re-derived per epoch)
+	carrierW []float64 // serving carrier power at the tag antenna
+	harvestW []float64 // total harvestable RF power under independent scheduling
+	lossP    []float64 // geometry-derived forward chunk-loss probability
+	fbBER    []float64 // geometry-derived feedback BER
+	queue    []int32   // frames awaiting delivery
+	budget   []energy.Budget
+	alive    []bool
+	dieTime  []float64 // seconds at death, for lifetime stats
 	// Per-round accumulators for energy accounting.
-	txCount int     // frames transmitted this round
-	txDt    float64 // seconds spent transmitting this round
+	txCount []int32   // frames transmitted this round
+	txDt    []float64 // seconds spent transmitting this round
+	// Per-tag PCG stream state stored inline (hi, lo words) and loaded
+	// into a worker's scratch Source around each use — the same streams
+	// the array-of-structs engine held as one *simrand.Source per tag.
+	lossHi, lossLo   []uint64
+	protoHi, protoLo []uint64
+	stats            []TagStats
 }
+
+func newTagState(n int) tagState {
+	return tagState{
+		pos:      make([]Position, n),
+		reader:   make([]int32, n),
+		carrierW: make([]float64, n),
+		harvestW: make([]float64, n),
+		lossP:    make([]float64, n),
+		fbBER:    make([]float64, n),
+		queue:    make([]int32, n),
+		budget:   make([]energy.Budget, n),
+		alive:    make([]bool, n),
+		dieTime:  make([]float64, n),
+		txCount:  make([]int32, n),
+		txDt:     make([]float64, n),
+		lossHi:   make([]uint64, n),
+		lossLo:   make([]uint64, n),
+		protoHi:  make([]uint64, n),
+		protoLo:  make([]uint64, n),
+		stats:    make([]TagStats, n),
+	}
+}
+
+func (t *tagState) len() int { return len(t.alive) }
 
 // TagStats reports one tag's outcome.
 type TagStats struct {
@@ -254,58 +299,100 @@ func (r *NetResult) FairnessIndex() float64 {
 	return sum * sum / (n * sumSq)
 }
 
-// roundProbe observes the engine at each round's energy settlement:
-// the round index, the settled wall-clock dt, the flat tag array (with
-// txCount/txDt still holding this round's accumulators), and each tag's
-// effective harvest power. Test-only hook; production runs pass nil.
-type roundProbe func(round int, dt float64, tags []tagNode, harvestW []float64)
+// roundState is the engine state a roundProbe observes: struct-of-array
+// views over the live per-tag columns, valid only for the duration of
+// the probe call and read-only for the probe.
+type roundState struct {
+	txCount  []int32   // frames transmitted this round (pre-reset)
+	txDt     []float64 // seconds spent transmitting this round (pre-reset)
+	alive    []bool
+	harvestW []float64 // effective harvest power settled this round
+}
 
-// engine holds one run's state: the flat tag array plus every piece of
+// roundProbe observes the engine at each round's energy settlement:
+// the round index, the settled wall-clock dt, and the SoA state views.
+// Test-only hook; production runs pass nil.
+type roundProbe func(round int, dt float64, st roundState)
+
+// engine holds one run's state: the tag arrays plus every piece of
 // scratch the round loop reuses, so steady-state rounds allocate
-// nothing.
+// nothing at any worker count.
 type engine struct {
 	sc      Scenario
 	pl      channel.LogDistance
 	rate    rateadapt.RateSpec
 	readers []Position
 	rstats  []ReaderStats
-	tags    []tagNode
+	tags    tagState
+	fade    *fadeState // closed-loop rate adaptation state (nil when disabled)
 	// gains[i*R+r] is the linear power gain from reader r to tag i,
 	// re-derived per epoch under mobility.
 	gains []float64
-	// readerTags[r] indexes the tags served by reader r (rebuilt per
-	// epoch; backing arrays reused).
-	readerTags [][]int
+	// Reader-cell association in CSR form: the tags served by reader r
+	// are tagsByReader[readerOff[r]:readerOff[r+1]], in tag index order.
+	// Rebuilt per epoch with no allocation; cells are the unit of
+	// window-phase sharding.
+	tagsByReader []int32
+	readerOff    []int32
+	readerFill   []int32 // rebuild cursor scratch
 	// couplingW is the linear inter-channel leakage factor under
 	// independent scheduling (0 under TDM).
 	couplingW float64
 	tdm       bool
+	analytic  bool
+	// params carries the shared MAC dimensions; FeedbackBER is per tag
+	// and written into each worker's params copy before a frame.
+	params mac.Params
 
 	// Round-loop scratch.
-	slotChoice []int
-	slotWinner []int
-	slotCount  []int
+	slotChoice []int32
 	harvest    []float64
-
-	// Reused protocol instances (their internal scratch persists
-	// across frames; full duplex is reseeded per transmission).
-	fd mac.FullDuplex
-	sw mac.StopAndWait
-	ba mac.BlockACK
 
 	secondsPerByte float64
 	chunkAir       int64
 	collisionCost  int64
+
+	// Worker pool and per-phase dispatch state (pool.go).
+	pool pool
+	// activeCells lists the reader cells the current round opens
+	// (all readers under independent scheduling, one under TDM).
+	activeCells    []int32
+	cellContenders []int32
+	cellAcc        []cellAcc
+	activeReader   int // <0: every reader is active
+	settleDt       float64
+	settleNow      float64
+	// res is set for the drain phase only (LifetimeS needs SimulatedS);
+	// nil during rounds.
+	res *NetResult
 }
 
 // Run executes the scenario deterministically under the given seed.
-func Run(sc Scenario, seed uint64) (*NetResult, error) { return run(sc, seed, nil) }
+func Run(sc Scenario, seed uint64) (*NetResult, error) { return run(sc, seed, 1, nil) }
 
-func run(sc Scenario, seed uint64, probe roundProbe) (*NetResult, error) {
+// RunParallel executes the scenario across the given number of engine
+// workers (<= 0 selects one per CPU). The result is byte-identical to
+// Run: sharding only changes which goroutine executes each reader cell
+// and tag range, never what they compute or which stream they draw.
+func RunParallel(sc Scenario, seed uint64, workers int) (*NetResult, error) {
+	return run(sc, seed, workers, nil)
+}
+
+// ResolveWorkers maps the CLI convention (<= 0 means one worker per
+// CPU) to a concrete engine worker count.
+func ResolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+func run(sc Scenario, seed uint64, workers int, probe roundProbe) (*NetResult, error) {
 	sc.ApplyDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	workers = ResolveWorkers(workers)
 	// One random tree, split in fixed order; every source below is
 	// always split even when unused (a static run still splits the
 	// mobility source) so the per-tag streams never depend on which
@@ -345,23 +432,30 @@ func run(sc Scenario, seed uint64, probe roundProbe) (*NetResult, error) {
 		}
 	}
 
+	R := len(readers)
 	e := &engine{
 		sc:             sc,
 		pl:             channel.NewLogDistance(sc.FreqHz, sc.PathLossExp),
 		rate:           rateadapt.RateSpec{Name: "1x", Mult: 1, ReqSNRdB: sc.ReqSNRdB},
 		readers:        readers,
-		rstats:         make([]ReaderStats, len(readers)),
-		tags:           make([]tagNode, sc.Tags),
-		gains:          make([]float64, sc.Tags*len(readers)),
-		readerTags:     make([][]int, len(readers)),
+		rstats:         make([]ReaderStats, R),
+		tags:           newTagState(sc.Tags),
+		gains:          make([]float64, sc.Tags*R),
+		tagsByReader:   make([]int32, sc.Tags),
+		readerOff:      make([]int32, R+1),
+		readerFill:     make([]int32, R),
 		tdm:            sc.Readers.Scheduling == SchedulingTDM,
-		slotChoice:     make([]int, sc.Tags),
-		slotWinner:     make([]int, sc.ContentionWindow),
-		slotCount:      make([]int, sc.ContentionWindow),
+		analytic:       sc.Analytic,
+		params:         params,
+		slotChoice:     make([]int32, sc.Tags),
 		harvest:        make([]float64, sc.Tags),
 		secondsPerByte: 8 / sc.BitRateBps,
 		chunkAir:       chunkAir,
 		collisionCost:  collisionCost,
+		activeCells:    make([]int32, 0, R),
+		cellContenders: make([]int32, R),
+		cellAcc:        make([]cellAcc, R),
+		activeReader:   -1,
 	}
 	if !e.tdm {
 		e.couplingW = math.Pow(10, -sc.Readers.IsolationdB/10)
@@ -369,33 +463,26 @@ func run(sc Scenario, seed uint64, probe roundProbe) (*NetResult, error) {
 	for r := range e.rstats {
 		e.rstats[r] = ReaderStats{ID: r, X: readers[r].X, Y: readers[r].Y}
 	}
-	for i := range e.tags {
-		n := &e.tags[i]
-		n.pos = positions[i]
-		n.params = params
-		n.alive = true
-		n.budget = energy.Budget{
-			Harvester: energy.Harvester{Efficiency: sc.HarvesterEff, SensitivityW: sc.HarvesterFloorW},
-			Cap:       energy.Capacitor{CapacitanceF: sc.CapacitanceF},
-			CircuitW:  sc.IdleCircuitW,
-		}
-		n.budget.Cap.SetVoltage(sc.StartVoltageV)
-		n.stats = TagStats{ID: i}
-		tagSrc := root.Split()
-		n.loss = mac.NewIIDLoss(0, tagSrc) // probability set by deriveLinks
-		n.protoSrc = tagSrc.Split()
-		if sc.RateAdapt.enabled() {
-			// The fading stream is hashed off the run seed, not split
-			// from the tree: enabling adaptation must not shift the
-			// streams the static engine draws. The loss draws
-			// themselves ride n.loss's existing stream.
-			n.fade = newFadingLoss(sc.RateAdapt, n.loss, fadeSeed(seed, i))
-		}
-		if sc.OfferedLoad == 0 {
-			n.queue = sc.FramesPerTag
-			n.stats.FramesOffered = sc.FramesPerTag
-		}
+	t := &e.tags
+	t.pos = positions
+	// The only serial part of per-tag setup is the root draw order: two
+	// words per tag, in tag index order — the exact root sequence of the
+	// serial engine. Park them in the loss-stream columns; initShard
+	// expands each pair into the tag's full stream tree in parallel.
+	for i := 0; i < sc.Tags; i++ {
+		t.lossHi[i] = root.Uint64()
+		t.lossLo[i] = root.Uint64()
 	}
+	if sc.RateAdapt.enabled() {
+		// The fading streams are hashed off the run seed, not split
+		// from the tree: enabling adaptation must not shift the streams
+		// the static engine draws. The loss draws themselves ride each
+		// tag's existing loss stream.
+		e.fade = newFadeState(sc.RateAdapt, sc.Tags, seed)
+	}
+	e.pool.start(e, workers)
+	defer e.pool.stop()
+	e.pool.dispatch(phaseInit)
 	e.deriveLinks()
 
 	var walk *waypointWalk
@@ -405,39 +492,27 @@ func run(sc Scenario, seed uint64, probe roundProbe) (*NetResult, error) {
 
 	res := &NetResult{Scenario: sc, Seed: seed}
 	epochLen := sc.Mobility.EpochRounds
-	activeReader := -1 // <0: every reader is active (independent scheduling)
+	// A closed-loop run is done once every live queue drained at the end
+	// of the previous round; the settlement phase maintains the flag.
+	anyQueued := true
 
 	for round := 0; round < sc.MaxRounds; round++ {
-		// A closed-loop run is done once every live queue drained at the
-		// end of the previous round; check before counting the round so
-		// Rounds reports only rounds that actually opened a window.
-		if sc.OfferedLoad == 0 {
-			queued := false
-			for i := range e.tags {
-				if e.tags[i].alive && e.tags[i].queue > 0 {
-					queued = true
-					break
-				}
-			}
-			if !queued {
-				break
-			}
+		if sc.OfferedLoad == 0 && !anyQueued {
+			// Check before counting the round so Rounds reports only
+			// rounds that actually opened a window.
+			break
 		}
 		res.Rounds = round + 1
 		if round%epochLen == 0 {
-			// positions mirrors tags[i].pos (nothing else moves a tag),
-			// so the walk advances it in place and the nodes copy back.
 			if walk != nil && round > 0 {
-				walk.advance(positions)
-				for i := range e.tags {
-					e.tags[i].pos = positions[i]
-				}
+				walk.advance(t.pos)
 				e.deriveLinks()
 			}
 			if e.tdm {
-				activeReader = (round / epochLen) % len(e.readers)
+				e.activeReader = (round / epochLen) % R
 			}
 		}
+		e.buildActiveCells()
 
 		// Open-loop arrivals. Policy: the Poisson draw happens for every
 		// tag, dead or alive, so one tag's death never shifts the arrival
@@ -446,147 +521,237 @@ func run(sc Scenario, seed uint64, probe roundProbe) (*NetResult, error) {
 		// them would deflate DeliveryRate with traffic that never existed
 		// for the MAC.
 		if sc.OfferedLoad > 0 {
-			for i := range e.tags {
-				n := &e.tags[i]
+			for i := 0; i < sc.Tags; i++ {
 				k := trafficSrc.Poisson(sc.OfferedLoad)
-				if !n.alive {
+				if !t.alive[i] {
 					continue
 				}
-				n.stats.FramesOffered += k
-				free := sc.QueueCap - n.queue
-				if k > free {
-					n.stats.FramesDropped += k - free
-					k = free
+				t.stats[i].FramesOffered += k
+				free := int32(sc.QueueCap) - t.queue[i]
+				if int32(k) > free {
+					t.stats[i].FramesDropped += k - int(free)
+					k = int(free)
 				}
-				n.queue += k
+				t.queue[i] += int32(k)
 			}
 		}
 
-		// One contention window per active reader. Independent channels
-		// run concurrently, so the wall clock advances by the longest
-		// window; under TDM only one reader transmits.
+		// Phase A (serial): slot draws, cell by cell in reader order —
+		// exactly the stream order the serial engine consumed, since
+		// window execution never touches slotSrc.
+		e.drawSlots(slotSrc)
+
+		// Phase B (parallel): one contention window per active cell.
+		// Independent channels run concurrently, so the wall clock
+		// advances by the longest window; under TDM only one reader
+		// transmits. Cells shard across workers; each cell touches only
+		// its own tags and per-cell accumulator.
+		e.pool.dispatch(phaseWindows)
 		var roundBytes int64
-		for r := range e.readers {
-			if activeReader >= 0 && r != activeReader {
-				continue
+		for ci := range e.activeCells {
+			acc := &e.cellAcc[ci]
+			if acc.windowBytes > roundBytes {
+				roundBytes = acc.windowBytes
 			}
-			rb := e.runWindow(r, slotSrc, res)
-			if rb > roundBytes {
-				roundBytes = rb
-			}
+			res.IdleSlots += acc.idleSlots
+			res.SingletonSlots += acc.singletonSlots
+			res.CollisionSlots += acc.collisionSlots
+			res.CollisionBytes += acc.collisionBytes
+			res.GoodputBytes += acc.goodputBytes
 		}
 
-		// Settle every tag's energy budget over the round in one step:
-		// the idle draw plus, for transmitters, the per-frame transmit
-		// energy spread over the round, harvesting the incident carriers
-		// reduced by the rho/2 Manchester-duty reflection loss during
-		// their transmit time. Under TDM a tag harvests only the single
-		// active carrier from wherever it stands; under independent
-		// scheduling every carrier contributes.
+		// Phase C (parallel): settle every tag's energy budget over the
+		// round in one step — the idle draw plus, for transmitters, the
+		// per-frame transmit energy spread over the round, harvesting the
+		// incident carriers reduced by the rho/2 Manchester-duty
+		// reflection loss during their transmit time. Under TDM a tag
+		// harvests only the single active carrier from wherever it
+		// stands; under independent scheduling every carrier contributes.
 		res.ElapsedBytes += roundBytes
-		dt := float64(roundBytes) * e.secondsPerByte
-		now := float64(res.ElapsedBytes) * e.secondsPerByte
-		for i := range e.tags {
-			n := &e.tags[i]
-			harvestW := n.harvestW
-			if activeReader >= 0 {
-				harvestW = sc.TxPowerW * e.gains[i*len(e.readers)+activeReader]
-			}
-			circuitW := sc.IdleCircuitW
-			if dt > 0 {
-				if n.txDt > 0 {
-					_, during := energy.SplitIncident(harvestW, sc.Rho/2)
-					harvestW -= (harvestW - during) * (n.txDt / dt)
-				}
-				circuitW += float64(n.txCount) * sc.TxEnergyJ / dt
-			}
-			e.harvest[i] = harvestW
-			n.budget.CircuitW = circuitW
-			ok := n.budget.Step(harvestW, dt)
-			n.budget.CircuitW = sc.IdleCircuitW
-			if !ok && n.alive {
-				n.alive = false
-				n.dieTime = now
-			}
-		}
+		e.settleDt = float64(roundBytes) * e.secondsPerByte
+		e.settleNow = float64(res.ElapsedBytes) * e.secondsPerByte
+		e.pool.anyQueued.Store(false)
+		e.pool.dispatch(phaseSettle)
+		anyQueued = e.pool.anyQueued.Load()
+
 		if probe != nil {
-			probe(round, dt, e.tags, e.harvest)
+			probe(round, e.settleDt, roundState{
+				txCount: t.txCount, txDt: t.txDt, alive: t.alive, harvestW: e.harvest,
+			})
 		}
-		for i := range e.tags {
-			e.tags[i].txCount, e.tags[i].txDt = 0, 0
-		}
+		clear(t.txCount)
+		clear(t.txDt)
 	}
 
 	res.SimulatedS = float64(res.ElapsedBytes) * e.secondsPerByte
-	res.Tags = make([]TagStats, 0, len(e.tags))
-	for i := range e.tags {
-		n := &e.tags[i]
-		if n.fade != nil {
-			n.fade.drainInto(&n.stats)
-			res.RateSwitches += n.fade.switches
-			res.AdaptChunks += n.fade.chunks
-			res.AdaptLagChunks += n.fade.lagChunks
-			res.adaptInvMult += n.fade.invMultSum
+	// Drain phase (parallel): per-tag finalisation writes stats in
+	// place; the engine is discarded after the run, so the result owns
+	// the stats array without a copy.
+	e.res = res
+	e.pool.dispatch(phaseDrain)
+	res.Tags = t.stats
+	// Scalar aggregation stays serial in tag order: the integer sums are
+	// order-independent but adaptInvMult is a float accumulation whose
+	// value depends on order — it must match the serial engine exactly.
+	for i := 0; i < sc.Tags; i++ {
+		ts := &t.stats[i]
+		if e.fade != nil {
+			f := e.fade
+			res.RateSwitches += f.switches[i]
+			res.AdaptChunks += f.chunks[i]
+			res.AdaptLagChunks += f.lag[i]
+			res.adaptInvMult += f.invMult[i]
 		}
-		n.stats.OutageFraction = n.budget.OutageFraction()
-		n.stats.Alive = n.alive
-		if n.alive {
-			n.stats.LifetimeS = res.SimulatedS
-		} else {
-			n.stats.LifetimeS = n.dieTime
-		}
-		res.FramesOffered += int64(n.stats.FramesOffered)
-		res.FramesDelivered += int64(n.stats.FramesDelivered)
-		res.FramesDropped += int64(n.stats.FramesDropped)
-		res.Tags = append(res.Tags, n.stats)
+		res.FramesOffered += int64(ts.FramesOffered)
+		res.FramesDelivered += int64(ts.FramesDelivered)
+		res.FramesDropped += int64(ts.FramesDropped)
 	}
 	for r := range e.rstats {
-		e.rstats[r].AssociatedTags = len(e.readerTags[r])
+		e.rstats[r].AssociatedTags = int(e.readerOff[r+1] - e.readerOff[r])
 		res.Readers = append(res.Readers, e.rstats[r])
 	}
 	return res, nil
 }
 
+// buildActiveCells refreshes the list of reader cells the current round
+// opens. Cheap (R <= 64); called every round.
+func (e *engine) buildActiveCells() {
+	e.activeCells = e.activeCells[:0]
+	for r := range e.readers {
+		if e.activeReader >= 0 && r != e.activeReader {
+			continue
+		}
+		e.activeCells = append(e.activeCells, int32(r))
+	}
+}
+
+// drawSlots draws every contender's slot for each active cell, in cell
+// order then tag index order within the cell's association list — the
+// exact slotSrc sequence of the serial engine. Contender counts are
+// recorded per cell so the window phase can reproduce the slot
+// histogram without re-reading slotSrc.
+func (e *engine) drawSlots(slotSrc *simrand.Source) {
+	cw := e.sc.ContentionWindow
+	t := &e.tags
+	for ci, r := range e.activeCells {
+		contenders := int32(0)
+		for _, i := range e.cellTags(int(r)) {
+			if !t.alive[i] || t.queue[i] == 0 {
+				continue
+			}
+			e.slotChoice[i] = int32(slotSrc.IntN(cw))
+			contenders++
+		}
+		e.cellContenders[ci] = contenders
+	}
+}
+
+// cellTags returns reader r's association list (tag indices in tag
+// order).
+func (e *engine) cellTags(r int) []int32 {
+	return e.tagsByReader[e.readerOff[r]:e.readerOff[r+1]]
+}
+
 // deriveLinks recomputes, for the current tag positions, every gain,
 // the strongest-carrier association, and each tag's forward chunk-loss
 // probability and feedback BER — using exactly the calibrations the
-// point-to-point link experiments use. Under independent scheduling the
-// neighbouring readers' carriers, attenuated by the channel isolation,
-// join the tag's noise floor for both directions. Called once for
-// static deployments and once per epoch under mobility.
+// point-to-point link experiments use. The per-tag geometry work shards
+// across workers (each tag's derivation is independent); the CSR
+// association index is then rebuilt serially in tag order, so cell
+// iteration order — and therefore the slot-draw stream — never depends
+// on sharding. Called once for static deployments and once per epoch
+// under mobility.
 func (e *engine) deriveLinks() {
-	sc := &e.sc
+	e.pool.dispatch(phaseDerive)
+
+	t := &e.tags
 	R := len(e.readers)
-	for r := range e.readerTags {
-		e.readerTags[r] = e.readerTags[r][:0]
+	clear(e.readerFill)
+	for i := 0; i < t.len(); i++ {
+		e.readerFill[t.reader[i]]++
 	}
-	for i := range e.tags {
-		n := &e.tags[i]
+	off := int32(0)
+	for r := 0; r < R; r++ {
+		e.readerOff[r] = off
+		off += e.readerFill[r]
+		e.readerFill[r] = e.readerOff[r]
+	}
+	e.readerOff[R] = off
+	for i := 0; i < t.len(); i++ {
+		r := t.reader[i]
+		e.tagsByReader[e.readerFill[r]] = int32(i)
+		e.readerFill[r]++
+	}
+}
+
+// initShard is the parallel body of per-tag setup for tags [lo, hi):
+// energy budget, queue preload, stream-seed expansion, and the fade
+// row. Each tag's state is a pure function of the two root words parked
+// in its loss columns (plus the scenario), so the result is identical
+// however the ranges are sharded. Budget and stats fields are assigned
+// individually — the fresh slices are already zero, so whole-struct
+// literals would only re-clear memory the allocator cleared.
+func (e *engine) initShard(w *netWorker, lo, hi int) {
+	sc := &e.sc
+	t := &e.tags
+	// seedSrc replays the per-tag split sequence of the array-of-structs
+	// engine draw for draw: root.Split() made the tag source (its state
+	// is the two root words), NewIIDLoss split the loss stream off it,
+	// and a second split made the protocol stream.
+	seedSrc := w.lossSrc
+	for i := lo; i < hi; i++ {
+		t.alive[i] = true
+		b := &t.budget[i]
+		b.Harvester.Efficiency = sc.HarvesterEff
+		b.Harvester.SensitivityW = sc.HarvesterFloorW
+		b.Cap.CapacitanceF = sc.CapacitanceF
+		b.CircuitW = sc.IdleCircuitW
+		b.Cap.SetVoltage(sc.StartVoltageV)
+		t.stats[i].ID = i
+		seedSrc.SetState(t.lossHi[i], t.lossLo[i])
+		t.lossHi[i], t.lossLo[i] = seedSrc.Uint64(), seedSrc.Uint64()
+		t.protoHi[i], t.protoLo[i] = seedSrc.Uint64(), seedSrc.Uint64()
+		if sc.OfferedLoad == 0 {
+			t.queue[i] = int32(sc.FramesPerTag)
+			t.stats[i].FramesOffered = sc.FramesPerTag
+		}
+		if e.fade != nil {
+			e.fade.initRow(i, seedSrc)
+		}
+	}
+}
+
+// deriveShard is the parallel body of deriveLinks for tags [lo, hi).
+func (e *engine) deriveShard(lo, hi int) {
+	sc := &e.sc
+	t := &e.tags
+	R := len(e.readers)
+	for i := lo; i < hi; i++ {
 		base := i * R
 		best, bestG := 0, -1.0
 		sumW := 0.0
-		for r := range e.readers {
-			g := e.pl.Gain(math.Hypot(n.pos.X-e.readers[r].X, n.pos.Y-e.readers[r].Y))
+		px, py := t.pos[i].X, t.pos[i].Y
+		for r := 0; r < R; r++ {
+			g := e.pl.Gain(math.Hypot(px-e.readers[r].X, py-e.readers[r].Y))
 			e.gains[base+r] = g
 			sumW += sc.TxPowerW * g
 			if g > bestG {
 				best, bestG = r, g
 			}
 		}
-		n.reader = best
-		n.carrierW = sc.TxPowerW * bestG
-		n.harvestW = sumW
-		e.readerTags[best] = append(e.readerTags[best], i)
+		t.reader[i] = int32(best)
+		t.carrierW[i] = sc.TxPowerW * bestG
+		t.harvestW[i] = sumW
 
 		// Inter-reader interference: under independent scheduling the
 		// other carriers leak through the channel isolation into this
 		// tag's noise floor every round. Under TDM neighbours are never
 		// active in the same epoch, so nothing is added.
-		noiseW := sc.NoiseW + e.couplingW*(sumW-n.carrierW)
+		noiseW := sc.NoiseW + e.couplingW*(sumW-t.carrierW[i])
 
 		// Forward link: SNR at the tag sets the chunk-loss cliff exactly
 		// as the rate-adaptation channel model does.
-		snrDB := 10 * math.Log10(n.carrierW/noiseW)
+		snrDB := 10 * math.Log10(t.carrierW[i]/noiseW)
 		lossP := rateadapt.ChunkLossProb(e.rate, snrDB)
 		// Reverse link: the backscattered feedback rides a round-trip
 		// channel; its BER follows the Manchester decoder prediction with
@@ -597,149 +762,239 @@ func (e *engine) deriveLinks() {
 		sigma := math.Sqrt(noiseW/2) / math.Sqrt(sc.TxPowerW)
 		fbBER := feedback.ManchesterBER(delta, sigma, sc.FeedbackSamplesPerBit)
 
-		n.loss.P = lossP
-		n.params.FeedbackBER = fbBER
-		if n.fade != nil {
+		t.lossP[i] = lossP
+		t.fbBER[i] = fbBER
+		if e.fade != nil {
 			// Under rate adaptation a mobility epoch re-derives the
 			// fading MEAN; the small-scale Gauss-Markov state persists,
 			// so motion shifts the channel without resetting it.
-			n.fade.meanSNRdB = snrDB
-			n.fade.fbBER = fbBER
+			e.fade.meanSNR[i] = snrDB
 		}
-		n.stats.Reader = best
-		n.stats.X, n.stats.Y = n.pos.X, n.pos.Y
-		n.stats.DistanceM = math.Hypot(n.pos.X-e.readers[best].X, n.pos.Y-e.readers[best].Y)
-		n.stats.SNRdB = snrDB
-		n.stats.ChunkLossProb = lossP
-		n.stats.FeedbackBER = fbBER
+		ts := &t.stats[i]
+		ts.Reader = best
+		ts.X, ts.Y = px, py
+		ts.DistanceM = math.Hypot(px-e.readers[best].X, py-e.readers[best].Y)
+		ts.SNRdB = snrDB
+		ts.ChunkLossProb = lossP
+		ts.FeedbackBER = fbBER
 	}
 }
 
-// runFrame pushes one frame of tag n through the scenario's MAC
-// protocol, reusing the engine's protocol instances. Full duplex draws
-// a fresh seed per transmission so feedback-decoding randomness is
-// independent across frames (the protocol reseeds its internal source
-// on every Run call).
-func (e *engine) runFrame(n *tagNode) mac.Result {
-	var loss mac.Loss = n.loss
-	if n.fade != nil {
-		n.fade.beginFrame()
-		loss = n.fade
+// settleShard is the parallel body of the energy settlement for tags
+// [lo, hi). Each tag settles independently; the only cross-tag output
+// is the anyQueued flag, which is a monotonic OR (order-free).
+func (e *engine) settleShard(lo, hi int) {
+	sc := &e.sc
+	t := &e.tags
+	R := len(e.readers)
+	dt := e.settleDt
+	queued := false
+	for i := lo; i < hi; i++ {
+		harvestW := t.harvestW[i]
+		if e.activeReader >= 0 {
+			harvestW = sc.TxPowerW * e.gains[i*R+e.activeReader]
+		}
+		circuitW := sc.IdleCircuitW
+		if dt > 0 {
+			if t.txDt[i] > 0 {
+				_, during := energy.SplitIncident(harvestW, sc.Rho/2)
+				harvestW -= (harvestW - during) * (t.txDt[i] / dt)
+			}
+			circuitW += float64(t.txCount[i]) * sc.TxEnergyJ / dt
+		}
+		e.harvest[i] = harvestW
+		b := &t.budget[i]
+		b.CircuitW = circuitW
+		ok := b.Step(harvestW, dt)
+		b.CircuitW = sc.IdleCircuitW
+		if !ok && t.alive[i] {
+			t.alive[i] = false
+			t.dieTime[i] = e.settleNow
+		}
+		if t.alive[i] && t.queue[i] > 0 {
+			queued = true
+		}
 	}
+	if queued {
+		e.pool.anyQueued.Store(true)
+	}
+}
+
+// drainShard is the parallel body of the end-of-run finalisation for
+// tags [lo, hi): adaptation stats, outage, lifetime.
+func (e *engine) drainShard(lo, hi int) {
+	t := &e.tags
+	sim := e.res.SimulatedS
+	for i := lo; i < hi; i++ {
+		ts := &t.stats[i]
+		if f := e.fade; f != nil {
+			nr := f.nr
+			ts.RateChunks = f.rateChunks[i*nr : (i+1)*nr : (i+1)*nr]
+			ts.RateLostChunks = f.rateLost[i*nr : (i+1)*nr : (i+1)*nr]
+			ts.RateSwitches = f.switches[i]
+			ts.AdaptChunks = f.chunks[i]
+			ts.AdaptLagChunks = f.lag[i]
+			if f.invMult[i] > 0 {
+				ts.MeanRateMult = float64(f.chunks[i]) / f.invMult[i]
+			}
+		}
+		ts.OutageFraction = t.budget[i].OutageFraction()
+		ts.Alive = t.alive[i]
+		if t.alive[i] {
+			ts.LifetimeS = sim
+		} else {
+			ts.LifetimeS = t.dieTime[i]
+		}
+	}
+}
+
+// runFrame pushes one frame of tag i through the scenario's MAC
+// protocol on worker w's reused protocol instances, loading the tag's
+// stream state into the worker's scratch sources around the exchange.
+// Full duplex draws a fresh seed per transmission so feedback-decoding
+// randomness is independent across frames (the protocol reseeds its
+// internal source on every Run call).
+func (e *engine) runFrame(w *netWorker, i int32) mac.Result {
+	t := &e.tags
+	w.lossSrc.SetState(t.lossHi[i], t.lossLo[i])
+	w.iid.P = t.lossP[i]
+	var loss mac.Loss = w.iid
+	if e.fade != nil {
+		w.fv.bind(int(i))
+		w.fv.beginFrame()
+		loss = &w.fv
+	}
+	w.params.FeedbackBER = t.fbBER[i]
+	var mr mac.Result
 	switch e.sc.Protocol {
 	case "stop-and-wait":
-		e.sw.P = n.params
-		return e.sw.Run(1, loss)
+		w.sw.P = w.params
+		mr = w.sw.Run(1, loss)
 	case "block-ack":
-		e.ba.P = n.params
-		return e.ba.Run(1, loss)
+		w.ba.P = w.params
+		mr = w.ba.Run(1, loss)
 	default:
-		e.fd.P = n.params
-		e.fd.Seed = n.protoSrc.Uint64()
-		return e.fd.Run(1, loss)
+		w.protoSrc.SetState(t.protoHi[i], t.protoLo[i])
+		w.fd.P = w.params
+		w.fd.Seed = w.protoSrc.Uint64()
+		t.protoHi[i], t.protoLo[i] = w.protoSrc.State()
+		mr = w.fd.Run(1, loss)
 	}
+	t.lossHi[i], t.lossLo[i] = w.lossSrc.State()
+	return mr
 }
 
-// runWindow executes one reader's contention window for the current
-// round and returns the window's airtime in bytes. Slot draws happen in
-// tag-index order within the reader's association list, so the stream
-// consumed from slotSrc is a fixed function of the deterministic
-// engine state.
-func (e *engine) runWindow(r int, slotSrc *simrand.Source, res *NetResult) int64 {
+// runWindowCell executes one reader's contention window for the current
+// round on worker w. The slot draws already happened serially
+// (drawSlots); this rebuilds the slot histogram from the recorded
+// choices — the contender set cannot have changed in between, since
+// only this cell's execution touches its tags' queues and deaths settle
+// at round end — and then executes the slots exactly as the serial
+// engine did. Everything written here is owned by the cell: its tags'
+// columns, its reader's stats, its cellAcc entry.
+func (e *engine) runWindowCell(w *netWorker, ci int) {
+	acc := &e.cellAcc[ci]
+	*acc = cellAcc{}
 	cw := e.sc.ContentionWindow
-	idxs := e.readerTags[r]
-
-	contenders := 0
-	for s := 0; s < cw; s++ {
-		e.slotWinner[s] = -1
-		e.slotCount[s] = 0
+	if e.cellContenders[ci] == 0 {
+		// Nothing to send in this cell: the whole window elapses idle.
+		acc.idleSlots = int64(cw)
+		acc.windowBytes = int64(cw) * e.chunkAir
+		return
+	}
+	r := int(e.activeCells[ci])
+	t := &e.tags
+	idxs := e.cellTags(r)
+	count := w.slotCount[:cw]
+	winner := w.slotWinner[:cw]
+	for s := range count {
+		count[s] = 0
 	}
 	for _, i := range idxs {
-		n := &e.tags[i]
-		if !n.alive || n.queue == 0 {
+		if !t.alive[i] || t.queue[i] == 0 {
 			continue
 		}
-		s := slotSrc.IntN(cw)
-		e.slotChoice[i] = s
-		e.slotCount[s]++
-		e.slotWinner[s] = i
-		contenders++
-	}
-	if contenders == 0 {
-		// Nothing to send in this cell: the whole window elapses idle.
-		res.IdleSlots += int64(cw)
-		return int64(cw) * e.chunkAir
+		s := e.slotChoice[i]
+		count[s]++
+		winner[s] = i
 	}
 	// Attribute collisions before slots execute (the contender set is
-	// exactly the set that drew above; queues change only below). A
-	// colliding tag was on air until the reader shut the slot down, so
-	// it pays the transmit energy for that airtime at round-end
-	// settlement just like a singleton winner does — the frame itself
-	// stays queued.
+	// exactly the set that drew; queues change only below). A colliding
+	// tag was on air until the reader shut the slot down, so it pays the
+	// transmit energy for that airtime at round-end settlement just like
+	// a singleton winner does — the frame itself stays queued.
 	for _, i := range idxs {
-		n := &e.tags[i]
-		if !n.alive || n.queue == 0 {
+		if !t.alive[i] || t.queue[i] == 0 {
 			continue
 		}
-		if e.slotCount[e.slotChoice[i]] > 1 {
-			n.stats.Collisions++
-			n.txCount++
-			n.txDt += float64(e.collisionCost) * e.secondsPerByte
+		if count[e.slotChoice[i]] > 1 {
+			t.stats[i].Collisions++
+			t.txCount[i]++
+			t.txDt[i] += float64(e.collisionCost) * e.secondsPerByte
 		}
 	}
 
 	var rb int64
+	rs := &e.rstats[r]
 	for s := 0; s < cw; s++ {
-		switch e.slotCount[s] {
+		switch count[s] {
 		case 0:
-			res.IdleSlots++
+			acc.idleSlots++
 			rb += e.chunkAir // empty slots are short: one chunk-time
 		case 1:
-			res.SingletonSlots++
-			e.rstats[r].SingletonSlots++
-			n := &e.tags[e.slotWinner[s]]
-			mr := e.runFrame(n)
-			n.queue--
-			elapsed, air := mr.ElapsedBytes, mr.AirtimeBytes
-			if n.fade != nil {
-				// A chunk at rate multiplier m occupies chunkAir/m
-				// byte-times: shift the exchange's clock and airtime by
-				// the rates the adapter actually used, and deliver the
-				// end-of-frame verdict the frame-probing policies learn
-				// from.
-				extra := n.fade.frameExtraBytes(e.chunkAir)
-				elapsed += extra
-				air += extra
-				n.fade.endFrame(mr.FramesDelivered == 1)
+			acc.singletonSlots++
+			rs.SingletonSlots++
+			i := winner[s]
+			var mr mac.Result
+			var elapsed, air int64
+			if e.analytic {
+				mr = e.analyticFrame(w, i)
+				elapsed, air = mr.ElapsedBytes, mr.AirtimeBytes
+			} else {
+				mr = e.runFrame(w, i)
+				elapsed, air = mr.ElapsedBytes, mr.AirtimeBytes
+				if e.fade != nil {
+					// A chunk at rate multiplier m occupies chunkAir/m
+					// byte-times: shift the exchange's clock and airtime
+					// by the rates the adapter actually used, and deliver
+					// the end-of-frame verdict the frame-probing policies
+					// learn from.
+					extra := w.fv.frameExtraBytes(e.chunkAir)
+					elapsed += extra
+					air += extra
+					w.fv.endFrame(mr.FramesDelivered == 1)
+					w.fv.unbind()
+				}
 			}
-			n.stats.AirtimeBytes += air
+			t.queue[i]--
+			t.stats[i].AirtimeBytes += air
 			rb += elapsed
 			if mr.FramesDelivered == 1 {
-				n.stats.FramesDelivered++
-				e.rstats[r].FramesDelivered++
-				res.GoodputBytes += mr.GoodputBytes
+				t.stats[i].FramesDelivered++
+				rs.FramesDelivered++
+				acc.goodputBytes += mr.GoodputBytes
 			} else {
 				// Undelivered after MaxAttempts: re-queue for a later
 				// round (unless the open-loop queue refilled).
-				if n.queue < e.sc.QueueCap {
-					n.queue++
+				if int(t.queue[i]) < e.sc.QueueCap {
+					t.queue[i]++
 				} else {
-					n.stats.FramesDropped++
+					t.stats[i].FramesDropped++
 				}
 			}
 			// Energy is settled once at round end; record how long this
 			// tag spent transmitting so its harvest and draw can be
 			// adjusted there.
-			n.txCount++
-			n.txDt += float64(elapsed) * e.secondsPerByte
+			t.txCount[i]++
+			t.txDt[i] += float64(elapsed) * e.secondsPerByte
 		default:
-			res.CollisionSlots++
-			e.rstats[r].CollisionSlots++
-			res.CollisionBytes += e.collisionCost
+			acc.collisionSlots++
+			rs.CollisionSlots++
+			acc.collisionBytes += e.collisionCost
 			rb += e.collisionCost
 		}
 	}
-	return rb
+	acc.windowBytes = rb
 }
 
 // String summarises a run for logs.

@@ -1,0 +1,202 @@
+package netsim
+
+// Worker pool for the sharded round loop. The pool is persistent for
+// the whole run: workers are goroutines parked on a channel, a phase
+// dispatch hands each of them one token, and every worker (including
+// the dispatching main goroutine, which doubles as workers[0]) claims
+// shards off a shared atomic counter until the phase is exhausted.
+// Steady-state rounds therefore start no goroutines and allocate
+// nothing — the only per-dispatch costs are channel sends and the
+// WaitGroup barrier.
+//
+// Determinism does not depend on which worker claims which shard: a
+// shard's computation reads only state owned by the shard (its reader
+// cell's tags, or its tag range) plus per-tag stream words stored
+// inline, and writes only shard-owned state and its own accumulator
+// slot. Cross-shard reductions happen after the barrier, in shard
+// order, on the main goroutine.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mac"
+	"repro/internal/simrand"
+)
+
+// phaseKind names the parallel phases of the round loop.
+type phaseKind uint8
+
+const (
+	// phaseWindows executes contention windows; shards are active
+	// reader cells.
+	phaseWindows phaseKind = iota
+	// phaseInit expands per-tag setup from the serial root draws;
+	// shards are tag ranges.
+	phaseInit
+	// phaseDerive recomputes link qualities; shards are tag ranges.
+	phaseDerive
+	// phaseSettle settles energy budgets; shards are tag ranges.
+	phaseSettle
+	// phaseDrain finalises per-tag stats; shards are tag ranges.
+	phaseDrain
+)
+
+// tagShardLen is the tag-range shard size for the per-tag phases:
+// large enough that the atomic claim is noise, small enough that a
+// million tags spread over every worker.
+const tagShardLen = 4096
+
+// cellAcc accumulates one reader cell's window outcome. Padded to a
+// cache line so adjacent cells on different workers don't false-share.
+type cellAcc struct {
+	windowBytes    int64
+	idleSlots      int64
+	singletonSlots int64
+	collisionSlots int64
+	collisionBytes int64
+	goodputBytes   int64
+	_              [2]int64
+}
+
+// netWorker is one worker's scratch: reused protocol instances, the
+// sources per-tag stream state is loaded into, and the slot histogram
+// for whichever cell the worker is executing. Everything here is
+// allocated once at pool start.
+type netWorker struct {
+	// lossSrc and protoSrc are stream-loading scratch: SetState with a
+	// tag's inline words before use, State back after.
+	lossSrc  *simrand.Source
+	protoSrc *simrand.Source
+	iid      *mac.IIDLoss
+	fv       fadeView
+	// params is the worker's copy of the shared MAC dimensions;
+	// FeedbackBER is written per frame.
+	params mac.Params
+	fd     mac.FullDuplex
+	sw     mac.StopAndWait
+	ba     mac.BlockACK
+	// Slot histogram scratch for runWindowCell.
+	slotCount  []int32
+	slotWinner []int32
+}
+
+type pool struct {
+	e       *engine
+	workers []*netWorker
+	workCh  chan phaseKind
+	wg      sync.WaitGroup
+	// shardNext is the shared shard-claim counter for the current
+	// phase; reset by dispatch before any worker can run.
+	shardNext atomic.Int64
+	// anyQueued is OR'd by settle shards: true when some live tag still
+	// holds a frame (drives closed-loop termination). Order-free.
+	anyQueued atomic.Bool
+}
+
+// start builds the worker scratch and parks workers-1 helper
+// goroutines on the dispatch channel (the main goroutine is
+// workers[0]). Protocol scratch is primed here so first use never
+// allocates — an allocation on first use would land on whichever
+// worker happened to claim the first frame, making allocation counts
+// scheduling-dependent.
+func (p *pool) start(e *engine, workers int) {
+	p.e = e
+	p.workers = make([]*netWorker, workers)
+	cw := e.sc.ContentionWindow
+	for i := range p.workers {
+		w := &netWorker{
+			lossSrc:    simrand.New(0),
+			protoSrc:   simrand.New(0),
+			params:     e.params,
+			slotCount:  make([]int32, cw),
+			slotWinner: make([]int32, cw),
+		}
+		w.iid = mac.NewIIDLossUsing(0, w.lossSrc)
+		w.fd.P = e.params
+		w.fd.Prime()
+		if e.fade != nil {
+			w.fv.init(e, w.iid)
+		}
+		p.workers[i] = w
+	}
+	helpers := workers - 1
+	p.workCh = make(chan phaseKind, helpers)
+	for i := 1; i < workers; i++ {
+		go func(w *netWorker) {
+			for ph := range p.workCh {
+				p.runPhase(w, ph)
+				p.wg.Done()
+			}
+		}(p.workers[i])
+	}
+}
+
+// stop releases the helper goroutines.
+func (p *pool) stop() { close(p.workCh) }
+
+// shardCount returns the number of shards the phase divides into.
+func (p *pool) shardCount(ph phaseKind) int {
+	if ph == phaseWindows {
+		return len(p.e.activeCells)
+	}
+	return (p.e.tags.len() + tagShardLen - 1) / tagShardLen
+}
+
+// dispatch runs one phase to completion across the pool and returns
+// after the barrier. With one worker (or one shard) it degenerates to
+// an inline call with no synchronisation at all.
+func (p *pool) dispatch(ph phaseKind) {
+	n := p.shardCount(ph)
+	if n == 0 {
+		return
+	}
+	p.shardNext.Store(0)
+	helpers := len(p.workers) - 1
+	if helpers == 0 || n <= 1 {
+		p.runPhase(p.workers[0], ph)
+		return
+	}
+	// Token count need not match claim counts: a fast helper may drain
+	// several shards and a slow one none. The barrier only needs every
+	// token matched by one Done and every shard claimed exactly once
+	// (the atomic counter guarantees the latter).
+	p.wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		p.workCh <- ph
+	}
+	p.runPhase(p.workers[0], ph)
+	p.wg.Wait()
+}
+
+// runPhase claims shards until the phase is exhausted.
+func (p *pool) runPhase(w *netWorker, ph phaseKind) {
+	e := p.e
+	n := p.shardCount(ph)
+	for {
+		s := int(p.shardNext.Add(1)) - 1
+		if s >= n {
+			return
+		}
+		switch ph {
+		case phaseWindows:
+			e.runWindowCell(w, s)
+		default:
+			lo := s * tagShardLen
+			hi := lo + tagShardLen
+			if hi > e.tags.len() {
+				hi = e.tags.len()
+			}
+			switch ph {
+			case phaseInit:
+				e.initShard(w, lo, hi)
+			case phaseDerive:
+				e.deriveShard(lo, hi)
+			case phaseSettle:
+				e.settleShard(lo, hi)
+			case phaseDrain:
+				e.drainShard(lo, hi)
+			}
+		}
+	}
+}

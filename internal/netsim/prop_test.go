@@ -37,7 +37,7 @@ func TestEnergySettlementInvariants(t *testing.T) {
 			for i := range prevAlive {
 				prevAlive[i] = true
 			}
-			probe := func(round int, dt float64, tags []tagNode, harvestW []float64) {
+			probe := func(round int, dt float64, st roundState) {
 				if probeErr != nil {
 					return
 				}
@@ -45,31 +45,31 @@ func TestEnergySettlementInvariants(t *testing.T) {
 					probeErr = fmt.Errorf("round %d settled over non-positive dt %g", round, dt)
 					return
 				}
-				for i := range tags {
+				for i := range st.alive {
 					// A tag transmits at most once per round inside its
 					// reader's window, and the wall clock is the longest
 					// active window: transmit time can never exceed it.
-					if tags[i].txDt > dt+1e-12 {
-						probeErr = fmt.Errorf("round %d tag %d: txDt %g exceeds round dt %g", round, i, tags[i].txDt, dt)
+					if st.txDt[i] > dt+1e-12 {
+						probeErr = fmt.Errorf("round %d tag %d: txDt %g exceeds round dt %g", round, i, st.txDt[i], dt)
 						return
 					}
 					// The rho/2 Manchester-duty reflection loss removes at
 					// most half the incident power even at rho = 1: the
 					// harvest input stays physical.
-					if harvestW[i] < 0 {
-						probeErr = fmt.Errorf("round %d tag %d: negative harvest power %g", round, i, harvestW[i])
+					if st.harvestW[i] < 0 {
+						probeErr = fmt.Errorf("round %d tag %d: negative harvest power %g", round, i, st.harvestW[i])
 						return
 					}
 					// Brown-out death is latched: once a tag dies it stays
 					// dead for the rest of the run.
-					if !prevAlive[i] && tags[i].alive {
+					if !prevAlive[i] && st.alive[i] {
 						probeErr = fmt.Errorf("round %d tag %d: revived after brown-out", round, i)
 						return
 					}
-					prevAlive[i] = tags[i].alive
+					prevAlive[i] = st.alive[i]
 				}
 			}
-			if _, err := run(sc, seed, probe); err != nil {
+			if _, err := run(sc, seed, 1, probe); err != nil {
 				t.Fatalf("scenario %d seed %d: %v", si, seed, err)
 			}
 			if probeErr != nil {

@@ -154,89 +154,135 @@ func fadeSeed(seed uint64, tag int) uint64 {
 	return simrand.Mix64(x ^ (uint64(tag) + 0x9e3779b97f4a7c15))
 }
 
-// fadingLoss implements mac.Loss for one tag under closed-loop rate
-// adaptation. Each Chunk call advances the Gauss-Markov fading process
-// one chunk-time (exactly the rateadapt.RunTrace recursion), reads the
-// adapter's current rate, and loses the chunk with the instantaneous
-// per-rate SNR-cliff probability; the resulting ACK/NACK feeds the
-// adapter back (per chunk for fd, ignored by fixed/arf).
-//
-// The loss draw itself rides the tag's existing IIDLoss stream (the
-// probability is rewritten before each draw), so with FadeRho = 0 and a
-// single 1x rate at the scenario cliff the draw sequence — and therefore
-// the whole run — is bit-for-bit the static engine's. The fading and
-// feedback-flip draws come from the dedicated per-tag fade source and
-// are only consumed when fading (rho > 0) or fd feedback is in play.
-type fadingLoss struct {
-	rates   []rateadapt.RateSpec
-	adapter rateadapt.Adapter
-	loss    *mac.IIDLoss
-	fadeSrc *simrand.Source
-	rho     float64
-	fdFB    bool // adapter consumes per-chunk feedback (fd)
+// fadeState is the closed-loop adaptation state for every tag, stored
+// as parallel columns like tagState: the Gauss-Markov coefficient and
+// its cached gain, the per-tag fading stream state (inline PCG words),
+// the adapter instances by value, and the whole-run accumulators that
+// drain into TagStats. A worker binds a fadeView over one tag's row for
+// the duration of a MAC exchange; the binding worker (the tag's cell
+// owner) is the only goroutine that touches the row, so no
+// synchronisation is needed.
+type fadeState struct {
+	rates []rateadapt.RateSpec
+	nr    int
+	rho   float64
+	fdFB  bool // adapter consumes per-chunk feedback (fd)
 
-	// Link quality, re-derived per epoch by deriveLinks (the fading
-	// state h deliberately persists across epochs: mobility moves the
-	// mean, not the small-scale process).
-	meanSNRdB float64
-	fbBER     float64
+	// meanSNR is re-derived per epoch by deriveLinks (the fading state
+	// h deliberately persists across epochs: mobility moves the mean,
+	// not the small-scale process).
+	meanSNR []float64
+	h       []complex128
+	gainDB  []float64
+	// fadeHi/fadeLo hold each tag's fading stream state inline, loaded
+	// into a worker's scratch Source around each exchange.
+	fadeHi, fadeLo []uint64
 
-	h      complex128
-	gainDB float64
-
-	// Per-frame scratch, reset by beginFrame and read by the engine
-	// right after each MAC exchange.
-	frameChunks  int64
-	frameInvMult float64
-	frameLost    int64
+	// Adapter state by value: exactly one of arf/fdp is non-nil, or
+	// neither and every tag shares the stateless fixed policy.
+	arf   []rateadapt.ARF
+	fdp   []rateadapt.FullDuplex
+	fixed *rateadapt.Fixed
+	// Per-row init parameters (initRow runs sharded across workers).
+	seed               uint64
+	upAfter, downAfter int
+	initRate           int32
 
 	// Whole-run accumulators, drained into TagStats at the end.
+	// rateChunks/rateLost are row-major [tag*nr+rate].
+	prevRate   []int32
+	chunks     []int64
+	switches   []int64
+	lag        []int64
+	invMult    []float64
 	rateChunks []int64
 	rateLost   []int64
-	invMultSum float64
-	chunks     int64
-	lost       int64
-	switches   int64
-	lagChunks  int64
-	prevRate   int
 }
 
-// newFadingLoss builds one tag's adaptation state. It allocates
-// everything up front so the round loop stays allocation-free.
-func newFadingLoss(spec RateAdaptSpec, loss *mac.IIDLoss, seed uint64) *fadingLoss {
-	f := &fadingLoss{
+// newFadeState allocates the adaptation state for n tags up front so
+// the round loop stays allocation-free. The per-row state (adapter
+// config, fading coefficient, stream seed) is filled by initRow, which
+// the engine shards across workers — each row is a pure function of
+// (seed, tag index), so the fill order never matters.
+func newFadeState(spec RateAdaptSpec, n int, seed uint64) *fadeState {
+	nr := len(spec.Rates)
+	f := &fadeState{
 		rates:      spec.Rates,
-		adapter:    spec.newAdapter(),
-		loss:       loss,
-		fadeSrc:    simrand.New(seed),
+		nr:         nr,
 		rho:        spec.FadeRho,
 		fdFB:       spec.Adapter == RateAdaptFD,
-		rateChunks: make([]int64, len(spec.Rates)),
-		rateLost:   make([]int64, len(spec.Rates)),
+		meanSNR:    make([]float64, n),
+		h:          make([]complex128, n),
+		gainDB:     make([]float64, n),
+		fadeHi:     make([]uint64, n),
+		fadeLo:     make([]uint64, n),
+		prevRate:   make([]int32, n),
+		chunks:     make([]int64, n),
+		switches:   make([]int64, n),
+		lag:        make([]int64, n),
+		invMult:    make([]float64, n),
+		rateChunks: make([]int64, n*nr),
+		rateLost:   make([]int64, n*nr),
+		seed:       seed,
+		upAfter:    spec.UpAfter,
+		downAfter:  spec.DownAfter,
 	}
-	if f.rho > 0 {
-		f.h = f.fadeSrc.RayleighCoeff(1)
-		f.gainDB = rateadapt.FadeGainDB(f.h)
+	switch spec.Adapter {
+	case RateAdaptARF:
+		f.arf = make([]rateadapt.ARF, n)
+	case RateAdaptFD:
+		f.fdp = make([]rateadapt.FullDuplex, n)
+	default:
+		i := spec.fixedIndex()
+		f.fixed = &rateadapt.Fixed{Index: i, RateName: spec.Rates[i].Name}
 	}
-	f.prevRate = f.adapter.Rate()
+	f.initRate = int32(spec.newAdapter().Rate())
 	return f
 }
 
-// advance steps the fading process one chunk-time. With rho = 0 the
-// channel is static (gainDB stays 0) and no randomness is consumed.
-func (f *fadingLoss) advance() {
-	if f.rho == 0 {
-		return
+// initRow fills tag i's adaptation row: adapter configuration (the rest
+// of the adapter struct is already zero in the fresh slice) and the
+// fading stream, seeded by fadeSeed exactly as the per-tag fadingLoss
+// sources were, so the draw sequences are unchanged. scratch is the
+// calling worker's reusable Source.
+func (f *fadeState) initRow(i int, scratch *simrand.Source) {
+	switch {
+	case f.arf != nil:
+		f.arf[i].NumRates = f.nr
+		f.arf[i].UpAfter = f.upAfter
+		f.arf[i].DownAfter = f.downAfter
+	case f.fdp != nil:
+		f.fdp[i].NumRates = f.nr
+		f.fdp[i].UpAfter = f.upAfter
 	}
-	f.h = rateadapt.FadeStep(f.h, f.rho, f.fadeSrc)
-	f.gainDB = rateadapt.FadeGainDB(f.h)
+	scratch.Reseed(fadeSeed(f.seed, i))
+	if f.rho > 0 {
+		h := scratch.RayleighCoeff(1)
+		f.h[i] = h
+		f.gainDB[i] = rateadapt.FadeGainDB(h)
+	}
+	f.fadeHi[i], f.fadeLo[i] = scratch.State()
+	f.prevRate[i] = f.initRate
+}
+
+// adapter returns tag i's policy instance. Taking the address of a
+// slice element converts to the interface without allocating.
+func (f *fadeState) adapter(i int) rateadapt.Adapter {
+	switch {
+	case f.arf != nil:
+		return &f.arf[i]
+	case f.fdp != nil:
+		return &f.fdp[i]
+	default:
+		return f.fixed
+	}
 }
 
 // oracleRate is the highest rate whose requirement the instantaneous
 // SNR meets (the below-50%-loss side of the cliff), or the lowest rate
 // when none qualifies — the reference a clairvoyant adapter would pick,
 // used for the adaptation-lag diagnostic.
-func (f *fadingLoss) oracleRate(snrDB float64) int {
+func (f *fadeState) oracleRate(snrDB float64) int {
 	best := 0
 	for i := range f.rates {
 		if snrDB >= f.rates[i].ReqSNRdB {
@@ -246,51 +292,133 @@ func (f *fadingLoss) oracleRate(snrDB float64) int {
 	return best
 }
 
+// fadeView implements mac.Loss over one tag's fadeState row for the
+// duration of a MAC exchange. Each Chunk call advances the Gauss-Markov
+// fading process one chunk-time (exactly the rateadapt.RunTrace
+// recursion), reads the adapter's current rate, and loses the chunk
+// with the instantaneous per-rate SNR-cliff probability; the resulting
+// ACK/NACK feeds the adapter back (per chunk for fd, ignored by
+// fixed/arf).
+//
+// The loss draw itself rides the tag's loss stream (already loaded into
+// the worker's iid scratch by runFrame; the probability is rewritten
+// before each draw), so with FadeRho = 0 and a single 1x rate at the
+// scenario cliff the draw sequence — and therefore the whole run — is
+// bit-for-bit the static engine's. The fading and feedback-flip draws
+// come from the tag's dedicated fade stream and are only consumed when
+// fading (rho > 0) or fd feedback is in play.
+type fadeView struct {
+	f       *fadeState
+	t       *tagState
+	iid     *mac.IIDLoss // the owning worker's loss scratch
+	fadeSrc *simrand.Source
+	rates   []rateadapt.RateSpec
+	rho     float64
+
+	// Bound-row cache, loaded by bind and written back by unbind.
+	i        int
+	adapter  rateadapt.Adapter
+	meanSNR  float64
+	fbBER    float64
+	h        complex128
+	gainDB   float64
+	prevRate int
+
+	// Per-frame scratch, reset by beginFrame and read by the engine
+	// right after each MAC exchange.
+	frameChunks  int64
+	frameInvMult float64
+	frameLost    int64
+}
+
+// init wires the view to the engine's fadeState and the owning worker's
+// loss scratch. Called once per worker at pool start.
+func (v *fadeView) init(e *engine, iid *mac.IIDLoss) {
+	v.f = e.fade
+	v.t = &e.tags
+	v.iid = iid
+	v.fadeSrc = simrand.New(0)
+	v.rates = e.fade.rates
+	v.rho = e.fade.rho
+}
+
+// bind loads tag i's row into the view's scratch.
+func (v *fadeView) bind(i int) {
+	f := v.f
+	v.i = i
+	v.fadeSrc.SetState(f.fadeHi[i], f.fadeLo[i])
+	v.h = f.h[i]
+	v.gainDB = f.gainDB[i]
+	v.meanSNR = f.meanSNR[i]
+	v.fbBER = v.t.fbBER[i]
+	v.adapter = f.adapter(i)
+	v.prevRate = int(f.prevRate[i])
+}
+
+// unbind writes the mutated row state back.
+func (v *fadeView) unbind() {
+	f, i := v.f, v.i
+	f.fadeHi[i], f.fadeLo[i] = v.fadeSrc.State()
+	f.h[i] = v.h
+	f.gainDB[i] = v.gainDB
+	f.prevRate[i] = int32(v.prevRate)
+}
+
+// advance steps the fading process one chunk-time. With rho = 0 the
+// channel is static (gainDB stays 0) and no randomness is consumed.
+func (v *fadeView) advance() {
+	if v.rho == 0 {
+		return
+	}
+	v.h = rateadapt.FadeStep(v.h, v.rho, v.fadeSrc)
+	v.gainDB = rateadapt.FadeGainDB(v.h)
+}
+
 // beginFrame resets the per-frame accumulators before a MAC exchange.
-func (f *fadingLoss) beginFrame() {
-	f.frameChunks, f.frameInvMult, f.frameLost = 0, 0, 0
+func (v *fadeView) beginFrame() {
+	v.frameChunks, v.frameInvMult, v.frameLost = 0, 0, 0
 }
 
 // Chunk implements mac.Loss.
-func (f *fadingLoss) Chunk() bool {
-	f.advance()
-	ri := f.adapter.Rate()
-	if ri != f.prevRate {
-		f.switches++
-		f.prevRate = ri
+func (v *fadeView) Chunk() bool {
+	v.advance()
+	ri := v.adapter.Rate()
+	f, i := v.f, v.i
+	if ri != v.prevRate {
+		f.switches[i]++
+		v.prevRate = ri
 	}
-	r := f.rates[ri]
-	snr := f.meanSNRdB + f.gainDB
-	f.loss.P = rateadapt.ChunkLossProb(r, snr)
-	lostChunk := f.loss.Chunk()
+	r := v.rates[ri]
+	snr := v.meanSNR + v.gainDB
+	v.iid.P = rateadapt.ChunkLossProb(r, snr)
+	lostChunk := v.iid.Chunk()
 
-	f.frameChunks++
-	f.frameInvMult += 1 / r.Mult
-	f.chunks++
-	f.invMultSum += 1 / r.Mult
-	f.rateChunks[ri]++
+	v.frameChunks++
+	v.frameInvMult += 1 / r.Mult
+	f.chunks[i]++
+	f.invMult[i] += 1 / r.Mult
+	f.rateChunks[i*f.nr+ri]++
 	if lostChunk {
-		f.rateLost[ri]++
-		f.frameLost++
-		f.lost++
+		f.rateLost[i*f.nr+ri]++
+		v.frameLost++
 	}
 	if ri != f.oracleRate(snr) {
-		f.lagChunks++
+		f.lag[i]++
 	}
 
 	fb := !lostChunk
-	if f.fdFB && f.fbBER > 0 && f.fadeSrc.Bool(f.fbBER) {
+	if f.fdFB && v.fbBER > 0 && v.fadeSrc.Bool(v.fbBER) {
 		fb = !fb
 	}
-	f.adapter.OnChunk(fb)
+	v.adapter.OnChunk(fb)
 	return lostChunk
 }
 
 // Idle implements mac.Loss: the channel keeps fading while the tag
 // backs off (one process step per chunk-time, as in the trace model).
-func (f *fadingLoss) Idle(n int) {
+func (v *fadeView) Idle(n int) {
 	for i := 0; i < n; i++ {
-		f.advance()
+		v.advance()
 	}
 }
 
@@ -299,26 +427,13 @@ func (f *fadingLoss) Idle(n int) {
 // chunkAir/m byte-times instead of chunkAir, so the exchange's elapsed
 // and transmitted airtime shift by chunkAir*(sum(1/m) - chunks). All
 // 1x chunks make this exactly zero.
-func (f *fadingLoss) frameExtraBytes(chunkAir int64) int64 {
-	return int64(math.Round(float64(chunkAir) * (f.frameInvMult - float64(f.frameChunks))))
+func (v *fadeView) frameExtraBytes(chunkAir int64) int64 {
+	return int64(math.Round(float64(chunkAir) * (v.frameInvMult - float64(v.frameChunks))))
 }
 
 // endFrame reports end-of-frame feedback to the adapter: a frame is
 // "clean" only when it was delivered with no chunk lost anywhere in the
 // exchange — the signal a half-duplex prober reads off the missing ACK.
-func (f *fadingLoss) endFrame(delivered bool) {
-	f.adapter.OnFrame(delivered && f.frameLost == 0)
-}
-
-// drainInto copies the run's accumulated adaptation statistics into the
-// tag's stats at the end of a run.
-func (f *fadingLoss) drainInto(ts *TagStats) {
-	ts.RateChunks = f.rateChunks
-	ts.RateLostChunks = f.rateLost
-	ts.RateSwitches = f.switches
-	ts.AdaptChunks = f.chunks
-	ts.AdaptLagChunks = f.lagChunks
-	if f.invMultSum > 0 {
-		ts.MeanRateMult = float64(f.chunks) / f.invMultSum
-	}
+func (v *fadeView) endFrame(delivered bool) {
+	v.adapter.OnFrame(delivered && v.frameLost == 0)
 }

@@ -8,6 +8,7 @@
 package simrand
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand/v2"
 )
@@ -18,6 +19,9 @@ import (
 type Source struct {
 	rng *rand.Rand
 	pcg *rand.PCG
+	// stateBuf backs State's marshal call so capturing stream state
+	// stays allocation-free on hot paths.
+	stateBuf [20]byte
 }
 
 // New returns a Source seeded deterministically from seed.
@@ -52,6 +56,27 @@ func (s *Source) Reseed(seed uint64) {
 func (s *Source) Split() *Source {
 	pcg := rand.NewPCG(s.rng.Uint64(), s.rng.Uint64())
 	return &Source{rng: rand.New(pcg), pcg: pcg}
+}
+
+// State captures the source's exact PCG state as two words, so engines
+// that own millions of streams can store each stream inline in flat
+// slices and load it into one scratch Source around use (SetState).
+// Allocation-free.
+func (s *Source) State() (hi, lo uint64) {
+	// The PCG binary encoding is "pcg:" followed by the two state words
+	// big-endian; there is no exported accessor for the words themselves.
+	b, err := s.pcg.AppendBinary(s.stateBuf[:0])
+	if err != nil || len(b) != 20 {
+		panic("simrand: unexpected PCG state encoding")
+	}
+	return binary.BigEndian.Uint64(b[4:12]), binary.BigEndian.Uint64(b[12:20])
+}
+
+// SetState restores a state captured by State: the source continues the
+// saved stream exactly. PCG.Seed stores its arguments as the raw state
+// words, so a (hi, lo) pair also reproduces Split's NewPCG(a, b) child.
+func (s *Source) SetState(hi, lo uint64) {
+	s.pcg.Seed(hi, lo)
 }
 
 // f64 returns a uniform value in [0, 1), drawing from the PCG exactly
