@@ -103,6 +103,7 @@ func run() int {
 	report := &perf.Report{
 		Seed: *seed, Quick: *quick, Parallel: workers,
 		GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU: runtime.NumCPU(), CPUModel: perf.HostCPUModel(),
 	}
 	for i, e := range targets {
 		if i > 0 {
@@ -151,6 +152,9 @@ func run() int {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
+		}
+		for _, w := range perf.EnvMismatch(report, base) {
+			fmt.Fprintf(os.Stderr, "perf: WARNING: environment differs from baseline — %s\n", w)
 		}
 		regs := perf.DefaultGate.Regressions(report, base)
 		for _, d := range perf.Compare(report, base) {

@@ -1,0 +1,90 @@
+// Command fdnetd serves the netsim scenario engine over HTTP: POST a
+// scenario JSON (the same schema cmd/fdnet reads) to /runs and the
+// daemon streams per-round statistics back as NDJSON, one engine per
+// request up to -max-runs concurrent, with resume tokens on every line.
+//
+//	fdnetd -addr 127.0.0.1:8080 -max-runs 4 &
+//	curl -sN --data-binary @examples/scenarios/fading-dock.json \
+//	    'http://127.0.0.1:8080/runs?seed=1'
+//
+// SIGINT/SIGTERM cancels live runs and shuts the listener down
+// gracefully (exit 0). -selftest runs the concurrent load harness
+// against an in-process server instead of listening.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/netsvc"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		maxRuns      = flag.Int("max-runs", 4, "maximum concurrent scenario runs (excess requests get 429)")
+		maxTags      = flag.Int("max-tags", 1<<20, "per-request tag cap (larger scenarios get 413)")
+		workers      = flag.Int("workers", 0, "engine workers per run (0: one per CPU)")
+		retryAfter   = flag.Int("retry-after", 1, "Retry-After hint on 429 responses, seconds")
+		selftest     = flag.Bool("selftest", false, "run the concurrent load self-test and exit")
+		selftestRuns = flag.Int("selftest-runs", 200, "concurrent runs the self-test drives")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "fdnetd: ", log.LstdFlags)
+
+	if *selftest {
+		err := netsvc.SelfTest(netsvc.SelfTestConfig{
+			Runs:          *selftestRuns,
+			MaxConcurrent: *maxRuns,
+			Workers:       *workers,
+		}, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdnetd: selftest FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	svc := netsvc.New(netsvc.Config{
+		MaxConcurrent: *maxRuns,
+		MaxTags:       *maxTags,
+		Workers:       *workers,
+		RetryAfterS:   *retryAfter,
+		Log:           logger,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		sig := <-sigc
+		logger.Printf("caught %v: cancelling %d live runs and shutting down", sig, svc.ActiveRuns())
+		svc.CancelRuns()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+		close(done)
+	}()
+
+	logger.Printf("listening on %s (max-runs=%d max-tags=%d workers=%d)", *addr, *maxRuns, *maxTags, *workers)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatalf("listen: %v", err)
+	}
+	<-done
+	logger.Printf("bye")
+}

@@ -21,6 +21,7 @@
 package fdbackscatter
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/bench"
@@ -154,6 +155,16 @@ type (
 	NetTagStats = netsim.TagStats
 	// NetReaderStats reports one reader's outcome inside a NetResult.
 	NetReaderStats = netsim.ReaderStats
+	// RoundSnapshot is one round's statistics as emitted by
+	// RunScenarioStream: cumulative counters, per-round deltas, and
+	// per-reader saturation. cmd/fdnetd streams these as NDJSON.
+	RoundSnapshot = netsim.RoundSnapshot
+	// ReaderRound is one reader's slice of a RoundSnapshot.
+	ReaderRound = netsim.ReaderRound
+	// SnapshotSink receives RoundSnapshots during a streamed run. The
+	// snapshot is reused between rounds: serialize or copy it, do not
+	// retain it.
+	SnapshotSink = netsim.SnapshotSink
 )
 
 // Rate-adaptation policy names for RateAdaptSpec.Adapter.
@@ -179,6 +190,15 @@ func RunScenario(sc Scenario, seed uint64) (*NetResult, error) {
 // compute or which random stream they draw.
 func RunScenarioParallel(sc Scenario, seed uint64, workers int) (*NetResult, error) {
 	return netsim.RunParallel(sc, seed, workers)
+}
+
+// RunScenarioStream is RunScenario with a live per-round observer: sink
+// receives one RoundSnapshot per round and the run aborts early if ctx
+// is cancelled or sink returns an error. The final result — and the
+// sequence of snapshots — is byte-identical to RunScenario's run at the
+// same seed; cmd/fdnetd builds its NDJSON streaming service on this.
+func RunScenarioStream(ctx context.Context, sc Scenario, seed uint64, sink SnapshotSink) (*NetResult, error) {
+	return netsim.RunStream(ctx, sc, seed, sink)
 }
 
 // ScenarioPreset returns a built-in scenario by name; ScenarioPresets

@@ -368,14 +368,14 @@ type engine struct {
 }
 
 // Run executes the scenario deterministically under the given seed.
-func Run(sc Scenario, seed uint64) (*NetResult, error) { return run(sc, seed, 1, nil) }
+func Run(sc Scenario, seed uint64) (*NetResult, error) { return run(sc, seed, 1, nil, nil) }
 
 // RunParallel executes the scenario across the given number of engine
 // workers (<= 0 selects one per CPU). The result is byte-identical to
 // Run: sharding only changes which goroutine executes each reader cell
 // and tag range, never what they compute or which stream they draw.
 func RunParallel(sc Scenario, seed uint64, workers int) (*NetResult, error) {
-	return run(sc, seed, workers, nil)
+	return run(sc, seed, workers, nil, nil)
 }
 
 // ResolveWorkers maps the CLI convention (<= 0 means one worker per
@@ -387,7 +387,7 @@ func ResolveWorkers(n int) int {
 	return n
 }
 
-func run(sc Scenario, seed uint64, workers int, probe roundProbe) (*NetResult, error) {
+func run(sc Scenario, seed uint64, workers int, probe roundProbe, st *streamer) (*NetResult, error) {
 	sc.ApplyDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -495,8 +495,20 @@ func run(sc Scenario, seed uint64, workers int, probe roundProbe) (*NetResult, e
 	// A closed-loop run is done once every live queue drained at the end
 	// of the previous round; the settlement phase maintains the flag.
 	anyQueued := true
+	if st != nil {
+		st.init(e)
+	}
 
 	for round := 0; round < sc.MaxRounds; round++ {
+		if st != nil {
+			// Streaming runs are cancellable between rounds: a client
+			// disconnect (or service shutdown) aborts here, before any
+			// further work, and the engine tears down cleanly through
+			// the deferred pool stop.
+			if err := st.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if sc.OfferedLoad == 0 && !anyQueued {
 			// Check before counting the round so Rounds reports only
 			// rounds that actually opened a window.
@@ -581,6 +593,16 @@ func run(sc Scenario, seed uint64, workers int, probe roundProbe) (*NetResult, e
 		}
 		clear(t.txCount)
 		clear(t.txDt)
+
+		if st != nil {
+			// Observation only: the snapshot reads settled state and
+			// consumes no randomness, so streaming never perturbs the
+			// batch byte-identity contract. A sink error (the client
+			// hung up mid-write) aborts exactly like a cancellation.
+			if err := st.observe(e, res, round); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	res.SimulatedS = float64(res.ElapsedBytes) * e.secondsPerByte

@@ -69,7 +69,7 @@ func TestEnergySettlementInvariants(t *testing.T) {
 					prevAlive[i] = st.alive[i]
 				}
 			}
-			if _, err := run(sc, seed, 1, probe); err != nil {
+			if _, err := run(sc, seed, 1, probe, nil); err != nil {
 				t.Fatalf("scenario %d seed %d: %v", si, seed, err)
 			}
 			if probeErr != nil {

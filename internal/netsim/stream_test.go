@@ -1,0 +1,212 @@
+package netsim
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// collectStream runs RunStreamOptions and returns the marshaled bytes
+// of every emitted snapshot (the service-layer view of the stream) plus
+// the final result.
+func collectStream(t *testing.T, sc Scenario, seed uint64, opts StreamOptions) ([][]byte, *NetResult) {
+	t.Helper()
+	var lines [][]byte
+	res, err := RunStreamOptions(context.Background(), sc, seed, opts, func(s *RoundSnapshot) error {
+		b, err := json.Marshal(s)
+		if err != nil {
+			return err
+		}
+		lines = append(lines, b)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunStreamOptions: %v", err)
+	}
+	return lines, res
+}
+
+// TestRunStreamMatchesBatch: the streamed run's final NetResult is
+// identical to the batch engine's, and the last snapshot's cumulative
+// counters agree with it.
+func TestRunStreamMatchesBatch(t *testing.T) {
+	for _, name := range []string{"warehouse", "mall-cells", "fading-aisle"} {
+		sc, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines, streamed := collectStream(t, sc, 7, StreamOptions{Workers: 1})
+		batch, err := Run(sc, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(streamed, batch) {
+			t.Errorf("%s: streamed NetResult differs from batch Run", name)
+		}
+		if len(lines) != batch.Rounds {
+			t.Fatalf("%s: %d snapshots for %d rounds", name, len(lines), batch.Rounds)
+		}
+		var last RoundSnapshot
+		if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+			t.Fatal(err)
+		}
+		if last.Round != batch.Rounds {
+			t.Errorf("%s: last snapshot round %d, want %d", name, last.Round, batch.Rounds)
+		}
+		if last.FramesDelivered != batch.FramesDelivered ||
+			last.FramesOffered != batch.FramesOffered ||
+			last.ElapsedBytes != batch.ElapsedBytes ||
+			last.GoodputBytes != batch.GoodputBytes {
+			t.Errorf("%s: last snapshot counters disagree with batch result:\n%+v\nvs delivered=%d offered=%d elapsed=%d goodput=%d",
+				name, last, batch.FramesDelivered, batch.FramesOffered, batch.ElapsedBytes, batch.GoodputBytes)
+		}
+		// The per-round deltas must sum to the cumulative totals.
+		var sum int64
+		for _, l := range lines {
+			var s RoundSnapshot
+			if err := json.Unmarshal(l, &s); err != nil {
+				t.Fatal(err)
+			}
+			sum += s.DeliveredDelta
+		}
+		if sum != batch.FramesDelivered {
+			t.Errorf("%s: delivered deltas sum to %d, want %d", name, sum, batch.FramesDelivered)
+		}
+	}
+}
+
+// TestRunStreamWorkerCountIdentical: the emitted snapshot bytes are
+// identical at any worker count — the streaming face of the engine's
+// sharding contract.
+func TestRunStreamWorkerCountIdentical(t *testing.T) {
+	sc, err := Preset("fading-aisle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, _ := collectStream(t, sc, 3, StreamOptions{Workers: 1})
+	eight, _ := collectStream(t, sc, 3, StreamOptions{Workers: 8})
+	if len(one) != len(eight) {
+		t.Fatalf("snapshot count differs: %d vs %d", len(one), len(eight))
+	}
+	for i := range one {
+		if string(one[i]) != string(eight[i]) {
+			t.Fatalf("round %d snapshot differs between 1 and 8 workers:\n%s\n%s", i+1, one[i], eight[i])
+		}
+	}
+}
+
+// TestRunStreamResumeMatchesTail: resuming at round k emits exactly the
+// uninterrupted stream's suffix, byte for byte, and the same final
+// result — the replay-based resume contract.
+func TestRunStreamResumeMatchesTail(t *testing.T) {
+	sc, err := Preset("warehouse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, fullRes := collectStream(t, sc, 5, StreamOptions{Workers: 2})
+	if len(full) < 4 {
+		t.Fatalf("warehouse run too short for a resume test: %d rounds", len(full))
+	}
+	start := len(full)/2 + 1 // 1-based round of the first resumed snapshot
+	tail, tailRes := collectStream(t, sc, 5, StreamOptions{Workers: 2, StartRound: start})
+	if want := full[start-1:]; len(tail) != len(want) {
+		t.Fatalf("resumed stream has %d snapshots, want %d", len(tail), len(want))
+	} else {
+		for i := range want {
+			if string(tail[i]) != string(want[i]) {
+				t.Fatalf("resumed snapshot %d differs from uninterrupted tail:\n%s\n%s", i, tail[i], want[i])
+			}
+		}
+	}
+	if !reflect.DeepEqual(tailRes, fullRes) {
+		t.Error("resumed run's final NetResult differs from the uninterrupted run's")
+	}
+	// Resuming past the end yields no snapshots but the same result.
+	none, noneRes := collectStream(t, sc, 5, StreamOptions{Workers: 1, StartRound: fullRes.Rounds + 1})
+	if len(none) != 0 {
+		t.Errorf("resume past the end emitted %d snapshots, want 0", len(none))
+	}
+	if !reflect.DeepEqual(noneRes, fullRes) {
+		t.Error("past-the-end resume result differs")
+	}
+}
+
+// TestRunStreamCancel: cancelling the context between rounds aborts the
+// run with the context's error and no further snapshots.
+func TestRunStreamCancel(t *testing.T) {
+	sc, err := Preset("retail-shelf") // open-loop: runs to MaxRounds
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rounds := 0
+	res, err := RunStream(ctx, sc, 1, func(s *RoundSnapshot) error {
+		rounds++
+		if rounds == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("cancelled stream returned (%v, %v), want context.Canceled", res, err)
+	}
+	if rounds != 3 {
+		t.Errorf("sink saw %d rounds after cancellation at 3", rounds)
+	}
+}
+
+// TestRunStreamSinkErrorAborts: a sink error (the service's client hung
+// up mid-write) aborts the run and surfaces unchanged.
+func TestRunStreamSinkErrorAborts(t *testing.T) {
+	sc, err := Preset("lab-bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := context.DeadlineExceeded
+	_, err = RunStream(context.Background(), sc, 1, func(s *RoundSnapshot) error {
+		if s.Round == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("sink error surfaced as %v, want %v", err, sentinel)
+	}
+}
+
+// TestRunStreamHotspotCounters: per-reader deltas are consistent — they
+// sum to the cumulative reader stats, and saturation stays in [0, 1].
+func TestRunStreamHotspotCounters(t *testing.T) {
+	sc, err := Preset("mall-cells")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var singles, collisions []int64
+	var delivered []int
+	res, err := RunStream(context.Background(), sc, 2, func(s *RoundSnapshot) error {
+		if len(singles) == 0 {
+			singles = make([]int64, len(s.Readers))
+			collisions = make([]int64, len(s.Readers))
+			delivered = make([]int, len(s.Readers))
+		}
+		for i, rr := range s.Readers {
+			if rr.Saturation < 0 || rr.Saturation > 1 {
+				return context.DeadlineExceeded
+			}
+			singles[i] += rr.SingletonDelta
+			collisions[i] += rr.CollisionDelta
+			delivered[i] += rr.DeliveredDelta
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Readers {
+		if singles[i] != r.SingletonSlots || collisions[i] != r.CollisionSlots || delivered[i] != r.FramesDelivered {
+			t.Errorf("reader %d: streamed deltas sum to %d/%d/%d, final stats %d/%d/%d",
+				i, singles[i], collisions[i], delivered[i], r.SingletonSlots, r.CollisionSlots, r.FramesDelivered)
+		}
+	}
+}

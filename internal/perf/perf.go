@@ -12,6 +12,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 )
 
 // Timing is one experiment's wall-clock measurement.
@@ -23,13 +24,66 @@ type Timing struct {
 // Report is the fdbench -timingjson schema: enough context to compare
 // runs across commits and machines.
 type Report struct {
-	Seed        uint64   `json:"seed"`
-	Quick       bool     `json:"quick"`
-	Parallel    int      `json:"parallel"`
-	GoVersion   string   `json:"go_version"`
-	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Seed       uint64 `json:"seed"`
+	Quick      bool   `json:"quick"`
+	Parallel   int    `json:"parallel"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// NumCPU and CPUModel record the machine the report was measured on
+	// (runtime.NumCPU and /proc/cpuinfo's model name). A timing ratio
+	// against a baseline from different hardware measures the hardware,
+	// not the code — EnvMismatch surfaces the difference so Compare
+	// output can be read with the right scepticism.
+	NumCPU      int      `json:"num_cpu,omitempty"`
+	CPUModel    string   `json:"cpu_model,omitempty"`
 	Experiments []Timing `json:"experiments"`
 	TotalMs     float64  `json:"total_ms"`
+}
+
+// HostCPUModel reads the CPU model name from /proc/cpuinfo, or returns
+// "" where that interface does not exist (non-Linux hosts).
+func HostCPUModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
+// EnvMismatch compares the environments two reports were measured in
+// and returns one human-readable warning per difference that can skew
+// a timing ratio: GOMAXPROCS, worker count, CPU count, CPU model, Go
+// version, and quick-vs-full mode. Empty means the environments match
+// (unrecorded baseline fields — old reports — are not flagged).
+func EnvMismatch(cur, base *Report) []string {
+	var out []string
+	add := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
+	if cur.Quick != base.Quick {
+		add("mode: current quick=%v, baseline quick=%v", cur.Quick, base.Quick)
+	}
+	if cur.GOMAXPROCS != base.GOMAXPROCS {
+		add("gomaxprocs: current %d, baseline %d", cur.GOMAXPROCS, base.GOMAXPROCS)
+	}
+	if cur.Parallel != base.Parallel {
+		add("workers: current %d, baseline %d", cur.Parallel, base.Parallel)
+	}
+	if base.NumCPU != 0 && cur.NumCPU != base.NumCPU {
+		add("cpus: current %d, baseline %d", cur.NumCPU, base.NumCPU)
+	}
+	if base.CPUModel != "" && cur.CPUModel != base.CPUModel {
+		add("cpu model: current %q, baseline %q", cur.CPUModel, base.CPUModel)
+	}
+	if cur.GoVersion != base.GoVersion {
+		add("go version: current %s, baseline %s", cur.GoVersion, base.GoVersion)
+	}
+	return out
 }
 
 // Load reads a report from a JSON file.

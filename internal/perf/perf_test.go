@@ -4,6 +4,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -142,4 +143,51 @@ func TestGate(t *testing.T) {
 
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestEnvMismatch(t *testing.T) {
+	base := &Report{Quick: true, GOMAXPROCS: 1, Parallel: 8, NumCPU: 4,
+		CPUModel: "Old CPU", GoVersion: "go1.22.0"}
+	same := *base
+	if w := EnvMismatch(&same, base); len(w) != 0 {
+		t.Fatalf("identical environments flagged: %v", w)
+	}
+	cur := &Report{Quick: false, GOMAXPROCS: 16, Parallel: 4, NumCPU: 16,
+		CPUModel: "New CPU", GoVersion: "go1.24.0"}
+	warns := EnvMismatch(cur, base)
+	if len(warns) != 6 {
+		t.Fatalf("want 6 warnings, got %d: %v", len(warns), warns)
+	}
+	for _, want := range []string{"mode", "gomaxprocs", "workers", "cpus", "cpu model", "go version"} {
+		found := false
+		for _, w := range warns {
+			if strings.HasPrefix(w, want+":") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no warning for %s in %v", want, warns)
+		}
+	}
+}
+
+func TestEnvMismatchToleratesUnrecordedBaseline(t *testing.T) {
+	// Reports written before env recording carry no CPU fields; they
+	// must not warn about every machine being "different from" zero.
+	base := &Report{GOMAXPROCS: 8, Parallel: 8, GoVersion: "go1.24.0"}
+	cur := &Report{GOMAXPROCS: 8, Parallel: 8, GoVersion: "go1.24.0",
+		NumCPU: 16, CPUModel: "Some CPU"}
+	if w := EnvMismatch(cur, base); len(w) != 0 {
+		t.Fatalf("unrecorded baseline env flagged: %v", w)
+	}
+}
+
+func TestHostCPUModel(t *testing.T) {
+	// On Linux /proc/cpuinfo exists and the model is non-empty; anywhere
+	// else the function must degrade to "" rather than error.
+	model := HostCPUModel()
+	if _, err := os.Stat("/proc/cpuinfo"); err == nil && model == "" {
+		t.Skip("cpuinfo present but no 'model name' line (non-x86?)")
+	}
+	t.Logf("host cpu model: %q", model)
 }
