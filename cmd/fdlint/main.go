@@ -1,0 +1,50 @@
+// Command fdlint runs the repo's contract-enforcement analyzer suite
+// (purestream, orderedrange, noalloc, sharded) over the packages
+// matching its arguments — ./... by default — and exits nonzero when
+// any contract is violated.
+//
+// Usage:
+//
+//	fdlint [-list] [packages]
+//
+// Diagnostics print as path:line:col: message [analyzer], sorted by
+// position. See README.md "Static analysis" for the contracts and the
+// //fdlint: annotation escape hatches.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analyze"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyze.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := analyze.Run("", nil, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "fdlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+// Package analysis is a minimal, API-compatible subset of
+// golang.org/x/tools/go/analysis: the Analyzer / Pass / Diagnostic
+// triple the fdlint suite is written against.
+//
+// The build environment for this repository is hermetic — no module
+// proxy, no vendored third-party code — so the real x/tools framework
+// is gated out rather than depended on. This shim deliberately mirrors
+// its shapes (field names, Run signature, Reportf) so that swapping the
+// import path to golang.org/x/tools/go/analysis, and the driver to
+// multichecker, is a mechanical change once the dependency is
+// available. Facts, SuggestedFixes and ResultOf are not reproduced:
+// none of the four fdlint analyzers need cross-package state.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name for diagnostics, a doc
+// string describing the contract it enforces, and the Run function.
+type Analyzer struct {
+	// Name identifies the analyzer in driver output and documentation.
+	Name string
+	// Doc states the contract the analyzer enforces, shown by
+	// `fdlint -list`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass presents one package to an Analyzer.Run: parsed files, the
+// type-checked package, and the Report callback.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

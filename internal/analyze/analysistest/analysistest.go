@@ -1,0 +1,202 @@
+// Package analysistest runs one fdlint analyzer over a corpus package
+// and checks its diagnostics against `// want` expectations — the
+// golang.org/x/tools/go/analysis/analysistest contract, reimplemented
+// on the in-tree framework so corpora run offline.
+//
+// Corpus layout follows the upstream convention: packages live under
+// <testdata>/src/<importpath>/ and may import each other, the real
+// module's packages (e.g. repro/internal/simrand), and the standard
+// library — corpus directories resolve first, everything else falls
+// back to `go list`.
+//
+// Expectations are comments of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// Each diagnostic must match an expectation on its line, and each
+// expectation must be matched by exactly one diagnostic. A `// want`
+// may ride at the end of an //fdlint: directive comment; the directive
+// parser ignores it.
+package analysistest
+
+import (
+	"fmt"
+	"go/scanner"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analyze/analysis"
+	"repro/internal/analyze/load"
+)
+
+// Run analyzes the corpus package at <testdata>/src/<pkgpath> with a
+// and verifies its diagnostics against the package's // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("corpus package %s: %v", pkgpath, err)
+	}
+
+	l := load.New()
+	l.Overlay = func(path string) (string, bool) {
+		d := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		if st, err := os.Stat(d); err == nil && st.IsDir() {
+			return d, true
+		}
+		return "", false
+	}
+	pkg, err := l.LoadDir(pkgpath, dir)
+	if err != nil {
+		t.Fatalf("loading corpus package %s: %v", pkgpath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer: a, Fset: l.Fset(), Files: pkg.Files,
+		Pkg: pkg.Types, TypesInfo: pkg.TypesInfo,
+		Report: func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, l.Fset(), dir)
+	for _, d := range diags {
+		pos := l.Fset().Position(d.Pos)
+		key := lineKey{file: filepath.Base(pos.Filename), line: pos.Line}
+		ws := wants[key]
+		matched := false
+		for _, w := range ws {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans every corpus source file for // want comments.
+func collectWants(t *testing.T, fset *token.FileSet, dir string) map[lineKey][]*want {
+	t.Helper()
+	wants := map[lineKey][]*want{}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		file := fset.AddFile(de.Name()+" (wants)", -1, len(src))
+		var s scanner.Scanner
+		s.Init(file, src, nil, scanner.ScanComments)
+		for {
+			pos, tok, lit := s.Scan()
+			if tok == token.EOF {
+				break
+			}
+			if tok != token.COMMENT {
+				continue
+			}
+			// A want spec is "// want" either opening the comment or
+			// embedded after a directive ("//fdlint:... // want ...").
+			idx := strings.Index(lit, "// want")
+			if idx < 0 {
+				continue
+			}
+			spec := lit[idx+len("// want"):]
+			key := lineKey{file: de.Name(), line: file.Position(pos).Line}
+			for _, q := range splitQuoted(t, de.Name(), file.Position(pos).Line, spec) {
+				re, err := regexp.Compile(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", de.Name(), key.line, q, err)
+				}
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted extracts the quoted regexps of one want spec; both
+// double quotes and backquotes are accepted.
+func splitQuoted(t *testing.T, file string, line int, spec string) []string {
+	t.Helper()
+	var out []string
+	rest := strings.TrimSpace(spec)
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '"' && rest[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want string in %q", file, line, spec)
+			}
+			q, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want string %q: %v", file, line, rest[:end+1], err)
+			}
+			out = append(out, q)
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.Index(rest[1:], "`")
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want backquote in %q", file, line, spec)
+			}
+			out = append(out, rest[1:end+1])
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			t.Fatalf("%s:%d: want expects quoted regexps, got %q", file, line, rest)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s:%d: empty want spec", file, line)
+	}
+	return out
+}
+
+// Fprint is a tiny debug helper kept for corpus development; it
+// formats a diagnostic list the way the driver does.
+func Fprint(fset *token.FileSet, diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return b.String()
+}

@@ -1,0 +1,33 @@
+// Package analyze assembles the fdlint analyzer suite: the static
+// checks that enforce this repo's determinism and zero-alloc contracts
+// at the source level, complementing the runtime gates (byte-identical
+// determinism tests, AllocsPerRun tests, the CI perf gate).
+//
+//   - purestream: engine packages draw randomness only from seeded
+//     simrand sources — no math/rand, wall clocks, or environment.
+//   - orderedrange: map iteration order never reaches an output sink
+//     unsorted.
+//   - noalloc: functions annotated //fdlint:noalloc avoid allocating
+//     constructs.
+//   - sharded: netsim parallel sections touch only parameter-rooted
+//     RNG state; goroutines only in the worker pool; serial-only
+//     streams stay serial.
+package analyze
+
+import (
+	"repro/internal/analyze/analysis"
+	"repro/internal/analyze/noalloc"
+	"repro/internal/analyze/orderedrange"
+	"repro/internal/analyze/purestream"
+	"repro/internal/analyze/sharded"
+)
+
+// All returns the full fdlint suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		noalloc.Analyzer,
+		orderedrange.Analyzer,
+		purestream.Analyzer,
+		sharded.Analyzer,
+	}
+}

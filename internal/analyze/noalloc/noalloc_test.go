@@ -1,0 +1,16 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analysistest"
+	"repro/internal/analyze/noalloc"
+)
+
+// The corpus proves the analyzer flags each allocating construct in
+// //fdlint:noalloc functions, accepts the in-place/cap-reuse idioms
+// the engine hot paths use, honors justified alloc-ok suppressions,
+// and reports bare ones.
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "alloctest")
+}

@@ -1,0 +1,115 @@
+// Package alloctest is the noalloc corpus: allocating constructs
+// inside annotated functions, the blessed in-place idioms, and the
+// alloc-ok escape hatch.
+package alloctest
+
+import "fmt"
+
+// Result mimics core.TransferResult: reusable slices behind a pointer.
+type Result struct {
+	Bits  []uint8
+	Count int
+}
+
+// Sink is an interface target for boxing checks.
+type Sink interface{ Total() int }
+
+type counter struct{ n int }
+
+func (c *counter) Total() int { return c.n }
+
+type value struct{ n int }
+
+func (v value) Total() int { return v.n }
+
+// transferInto is the blessed hot-path shape: reuse capacity through
+// the result pointer, write struct values in place.
+//
+//fdlint:noalloc
+func transferInto(res *Result, bits []uint8) {
+	*res = Result{Bits: res.Bits[:0]}
+	for _, b := range bits {
+		res.Bits = append(res.Bits, b) // cap-managed via res.Bits[:0]
+	}
+	res.Count = len(res.Bits)
+}
+
+// scratchAppend re-slices a local and grows into it: clean.
+//
+//fdlint:noalloc
+func scratchAppend(scratch []int, n int) []int {
+	out := scratch[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// pointerBox stores a pointer into an interface: pointer-shaped values
+// do not box.
+//
+//fdlint:noalloc
+func pointerBox(c *counter) Sink {
+	var s Sink = c
+	return s
+}
+
+// allocs trips every rule the analyzer owns.
+//
+//fdlint:noalloc
+func allocs(xs []int, s string) int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `appends to "out", which is never re-sliced`
+	}
+	buf := make([]byte, 8) // want `calls make`
+	_ = buf
+	p := &Result{} // want `takes the address of a composite literal`
+	_ = p
+	lit := []int{1, 2, 3} // want `constructs a slice literal`
+	_ = lit
+	m := map[string]int{} // want `constructs a map literal`
+	_ = m
+	f := func() int { return 1 } // want `declares a closure`
+	defer f()                    // want `defers`
+	msg := fmt.Sprintf("%d", xs) // want `calls fmt.Sprintf`
+	msg += "!"                   // want `concatenates strings`
+	b := []byte(s)               // want `converts between string and byte/rune slice`
+	_ = b
+	var sink Sink = value{n: 1} // want `boxes a alloctest.value into interface alloctest.Sink`
+	_ = msg
+	return sink.Total()
+}
+
+// justified carries reasons on its suppressions: clean.
+//
+//fdlint:noalloc
+func justified(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) //fdlint:alloc-ok warm-up path, amortized by reuse
+	}
+	return out
+}
+
+// bare suppresses with no reason: the suppression itself is the
+// diagnostic.
+//
+//fdlint:noalloc
+func bare(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) //fdlint:alloc-ok // want `alloc-ok suppression is missing a reason`
+	}
+	return out
+}
+
+// unannotated may allocate freely: noalloc only governs annotated
+// functions.
+func unannotated(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

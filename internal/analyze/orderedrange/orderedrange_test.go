@@ -1,0 +1,16 @@
+package orderedrange_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analysistest"
+	"repro/internal/analyze/orderedrange"
+)
+
+// The corpus proves the analyzer flags direct sinks inside map ranges,
+// flags value collections ordered only by comparator sorts, accepts
+// the sorted-key-harvest and total-order-sort idioms, enforces reasons
+// on //fdlint:ordered suppressions, and reports unknown fdlint verbs.
+func TestOrderedRange(t *testing.T) {
+	analysistest.Run(t, "testdata", orderedrange.Analyzer, "ordtest")
+}

@@ -1,0 +1,107 @@
+// Package ordtest is the orderedrange corpus: map ranges that leak
+// iteration order into sinks, the blessed sorted idioms, and the
+// annotation escape hatches.
+package ordtest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Table stands in for trace.Table: AddRow is a sink method by name.
+type Table struct{ rows [][]string }
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// Dump prints straight out of a map range: the classic leak.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `map iteration order reaches output sink fmt\.Fprintf`
+	}
+}
+
+// Fill feeds a table row per map entry: method sink.
+func Fill(t *Table, m map[string]string) {
+	for k, v := range m {
+		t.AddRow(k, v) // want `map iteration order reaches output sink .*AddRow`
+	}
+}
+
+// Values collects map values and orders them with a comparator sort
+// before returning: the analyzer cannot prove the comparator total, so
+// this is flagged — harvest and sort the keys instead.
+func Values(m map[string]int) []int {
+	out := make([]int, 0, len(m))
+	for _, v := range m { // want `ordered only by a comparator sort`
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Leak collects and returns with no sort at all.
+func Leak(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `map iteration order leaks through "out"`
+		out = append(out, v)
+	}
+	return out
+}
+
+// Keys is the blessed idiom: harvest the keys (unique by construction)
+// and any sort — even a comparator sort — yields a deterministic
+// permutation.
+func Keys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// Vals is the other blessed idiom: a total-order element sort on the
+// collected values.
+func Vals(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count never lets the order escape: clean.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Lines ranges a slice, not a map: clean regardless of the sink.
+func Lines(w io.Writer, lines []string) {
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+// DumpAnnotated suppresses the finding with a justified annotation.
+func DumpAnnotated(w io.Writer, m map[string]int) {
+	for k := range m { //fdlint:ordered debug aid, output order immaterial
+		fmt.Fprintln(w, k)
+	}
+}
+
+// DumpBare carries a bare suppression: that is its own diagnostic.
+func DumpBare(w io.Writer, m map[string]int) {
+	for k := range m { //fdlint:ordered // want `suppression is missing a reason`
+		fmt.Fprintln(w, k)
+	}
+}
+
+//fdlint:sortfirst keys must come sorted // want `unknown fdlint directive "sortfirst"`
+func oops(m map[string]int) int { return len(m) }

@@ -1,0 +1,112 @@
+// Package purestream enforces the engine's determinism contract at its
+// root: every simulation result must be a pure function of
+// (Scenario, seed), so engine packages may not reach for ambient
+// randomness, wall clocks, or process environment. All randomness must
+// flow from the seeded simrand split tree (internal/simrand), whose
+// sources are threaded explicitly through the code — including through
+// interfaces; purestream only rejects the ambient escape hatches.
+package purestream
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analyze/analysis"
+)
+
+// EnginePackages are the import-path suffixes purestream governs: the
+// packages that execute inside a simulation and therefore must stay
+// pure. Matching by suffix keeps the analyzer honest on corpus
+// packages and on a future module rename.
+var EnginePackages = []string{
+	"internal/core",
+	"internal/netsim",
+	"internal/mac",
+	"internal/channel",
+	"internal/phy",
+	"internal/sigproc",
+	"internal/rateadapt",
+	"internal/energy",
+}
+
+// forbiddenImports maps import paths engine packages must not depend
+// on to the reason.
+var forbiddenImports = map[string]string{
+	"math/rand":    "unseeded global randomness; thread a simrand.Source instead",
+	"math/rand/v2": "RNG outside the seeded split tree; thread a simrand.Source instead",
+	"crypto/rand":  "nondeterministic entropy; thread a simrand.Source instead",
+}
+
+// forbiddenCalls maps package-level functions engine packages must not
+// call to the reason. Keyed by full name as types.Object.String
+// reports it ("time.Now").
+var forbiddenCalls = map[string]string{
+	"time.Now":       "wall-clock time makes results time-dependent",
+	"time.Since":     "wall-clock time makes results time-dependent",
+	"time.Until":     "wall-clock time makes results time-dependent",
+	"os.Getenv":      "environment reads make results host-dependent",
+	"os.LookupEnv":   "environment reads make results host-dependent",
+	"os.Environ":     "environment reads make results host-dependent",
+	"os.Hostname":    "host identity makes results host-dependent",
+	"runtime.NumCPU": "hardware shape must not influence simulation output",
+}
+
+// Analyzer is the purestream analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "purestream",
+	Doc: "engine packages must be pure functions of (Scenario, seed): " +
+		"no math/rand or crypto/rand, no wall clocks, no environment reads; " +
+		"randomness flows only from the seeded simrand split tree",
+	Run: run,
+}
+
+// Governs reports whether purestream applies to the package path.
+func Governs(path string) bool {
+	for _, sfx := range EnginePackages {
+		if path == sfx || strings.HasSuffix(path, "/"+sfx) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !Governs(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if why, bad := forbiddenImports[path]; bad {
+				pass.Reportf(imp.Pos(), "engine package imports %s: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			// Package-level functions and variables only: methods have a
+			// receiver and are reached through explicitly threaded values.
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				if _, isVar := obj.(*types.Var); !isVar {
+					return true
+				}
+			}
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			name := obj.Pkg().Name() + "." + obj.Name()
+			if why, bad := forbiddenCalls[name]; bad {
+				pass.Reportf(sel.Pos(), "engine package uses %s: %s", name, why)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,33 @@
+package purestream_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analysistest"
+	"repro/internal/analyze/purestream"
+)
+
+// The corpus proves the analyzer fires on ambient randomness, clocks
+// and environment reads in engine-suffixed packages, accepts a seeded
+// simrand.Source threaded through an interface, and stays silent in
+// non-engine packages.
+func TestPurestream(t *testing.T) {
+	analysistest.Run(t, "testdata", purestream.Analyzer, "puretest/internal/mac")
+	analysistest.Run(t, "testdata", purestream.Analyzer, "puretest/clock")
+}
+
+func TestGoverns(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/mac":     true,
+		"repro/internal/netsim":  true,
+		"puretest/internal/mac":  true,
+		"internal/mac":           true,
+		"repro/internal/netsvc":  false,
+		"repro/internal/simrand": false,
+		"repro/internal/trace":   false,
+	} {
+		if got := purestream.Governs(path); got != want {
+			t.Errorf("Governs(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

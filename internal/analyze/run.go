@@ -1,0 +1,71 @@
+package analyze
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"repro/internal/analyze/analysis"
+	"repro/internal/analyze/load"
+)
+
+// Finding is one resolved diagnostic from a suite run.
+type Finding struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+// String renders the finding the way the driver prints it.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run loads the packages matching patterns (rooted at dir, "" for the
+// current directory) and applies the given analyzers — All() when nil —
+// returning every diagnostic sorted by position.
+func Run(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]Finding, error) {
+	if analyzers == nil {
+		analyzers = All()
+	}
+	l := load.New()
+	l.Dir = dir
+	pkgs, err := l.Roots(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a := a
+			pass := &analysis.Pass{
+				Analyzer: a, Fset: l.Fset(), Files: pkg.Files,
+				Pkg: pkg.Types, TypesInfo: pkg.TypesInfo,
+				Report: func(d analysis.Diagnostic) {
+					findings = append(findings, Finding{
+						Pos:      l.Fset().Position(d.Pos),
+						Message:  d.Message,
+						Analyzer: a.Name,
+					})
+				},
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,311 @@
+// Package sharded statically enforces the engine's sharding contract
+// in internal/netsim: byte-identical results at any worker count
+// require that parallel sections touch only per-worker or per-shard
+// state, and that the serial-only RNG streams never cross into them.
+//
+// Three annotations carry the contract:
+//
+//	//fdlint:workerpool  on the one function allowed to create
+//	                     goroutines (the persistent pool constructor).
+//	                     Any `go` statement elsewhere in the package is
+//	                     a diagnostic: ad-hoc goroutines bypass the
+//	                     pool's deterministic shard dispatch.
+//	//fdlint:parallel    on functions that execute on pool workers.
+//	                     Inside them the analyzer forbids go statements,
+//	                     channel operations and select (workers must be
+//	                     pure compute between dispatch barriers), and
+//	                     requires every *simrand.Source expression to be
+//	                     rooted at a non-receiver parameter — receiver
+//	                     fields are engine-shared state, parameters are
+//	                     the per-worker scratch. Local aliases of
+//	                     parameter-rooted sources (seedSrc := w.lossSrc)
+//	                     are tracked.
+//	//fdlint:serial      trailing a declaration whose value is a
+//	                     serial-only stream (the placement/traffic/
+//	                     slot/mobility splits). Within the declaring
+//	                     function the value must not be stored into a
+//	                     struct field or passed to a //fdlint:parallel
+//	                     function — either would let worker scheduling
+//	                     perturb the draw sequence.
+package sharded
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analyze/analysis"
+	"repro/internal/analyze/annotate"
+)
+
+// Analyzer is the sharded analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharded",
+	Doc: "netsim parallel sections: goroutines only in the worker " +
+		"pool, parallel functions touch only parameter-rooted RNG " +
+		"sources, serial-only streams stay serial",
+	Run: run,
+}
+
+// Governs reports whether the analyzer applies to the package path.
+func Governs(path string) bool {
+	const sfx = "internal/netsim"
+	return path == sfx || strings.HasSuffix(path, "/"+sfx)
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !Governs(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	// First pass: find the //fdlint:parallel function objects so calls
+	// to them can be recognized across the package.
+	parallelFuncs := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, ok := annotate.FuncHas(pass.Fset, fd, "parallel"); ok {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					parallelFuncs[obj] = true
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		af := annotate.NewFile(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			_, isPool := annotate.FuncHas(pass.Fset, fd, "workerpool")
+			_, isParallel := annotate.FuncHas(pass.Fset, fd, "parallel")
+			if !isPool {
+				checkNoGo(pass, fd)
+			}
+			if isParallel {
+				checkParallel(pass, fd)
+			}
+			checkSerial(pass, af, fd, parallelFuncs)
+		}
+	}
+	return nil, nil
+}
+
+// checkNoGo flags goroutine creation outside the worker pool.
+func checkNoGo(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			pass.Reportf(g.Pos(), "go statement outside the //fdlint:workerpool function: ad-hoc goroutines bypass deterministic shard dispatch")
+		}
+		return true
+	})
+}
+
+// checkParallel enforces the worker-purity rules inside one
+// //fdlint:parallel function.
+func checkParallel(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Parameter objects (the per-worker scratch roots). The receiver is
+	// deliberately excluded: it is the shared engine.
+	roots := map[types.Object]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					roots[obj] = true
+				}
+			}
+		}
+	}
+	// Alias prepass: locals defined from parameter-rooted expressions
+	// join the root set (source order; engine code aliases before use).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if rootObject(pass, as.Rhs[i], roots) {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					roots[obj] = true
+				} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					roots[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SelectStmt:
+			pass.Reportf(v.Pos(), "//fdlint:parallel function %s uses select: workers must be pure compute between dispatch barriers", fd.Name.Name)
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(v.Pos(), "//fdlint:parallel function %s sends on a channel: workers must be pure compute between dispatch barriers", fd.Name.Name)
+			return false
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				pass.Reportf(v.Pos(), "//fdlint:parallel function %s receives from a channel: workers must be pure compute between dispatch barriers", fd.Name.Name)
+			}
+		case *ast.Ident, *ast.SelectorExpr:
+			expr := n.(ast.Expr)
+			if !isSourceType(pass.TypesInfo.Types[expr].Type) {
+				return true
+			}
+			if !rootObject(pass, expr, roots) {
+				pass.Reportf(expr.Pos(), "//fdlint:parallel function %s uses a *simrand.Source not rooted at a parameter: engine-shared sources make results depend on worker interleaving", fd.Name.Name)
+			}
+			if _, ok := n.(*ast.SelectorExpr); ok {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// rootObject reports whether expr's base identifier is one of the
+// allowed roots (a parameter or a tracked alias).
+func rootObject(pass *analysis.Pass, expr ast.Expr, roots map[types.Object]bool) bool {
+	e := ast.Unparen(expr)
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[v]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[v]
+			}
+			return obj != nil && roots[obj]
+		case *ast.SelectorExpr:
+			e = ast.Unparen(v.X)
+		case *ast.IndexExpr:
+			e = ast.Unparen(v.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(v.X)
+		case *ast.CallExpr:
+			// A method call on a rooted value (w.src.Split()) stays rooted.
+			if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok {
+				e = ast.Unparen(sel.X)
+				continue
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// isSourceType reports whether t is simrand.Source or a pointer to it.
+func isSourceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Source" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "internal/simrand" || strings.HasSuffix(path, "/internal/simrand")
+}
+
+// checkSerial finds //fdlint:serial declarations in fd and verifies the
+// declared values stay serial: never stored into a struct field, never
+// passed to a //fdlint:parallel function.
+func checkSerial(pass *analysis.Pass, af *annotate.File, fd *ast.FuncDecl, parallelFuncs map[types.Object]bool) {
+	serial := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if _, ok := af.Has(as, "serial"); !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					serial[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(serial) == 0 {
+		return
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range v.Lhs {
+				if _, ok := lhs.(*ast.SelectorExpr); !ok {
+					continue
+				}
+				if i < len(v.Rhs) && mentionsSerial(pass, v.Rhs[i], serial) {
+					pass.Reportf(v.Pos(), "serial-only stream stored into a struct field: //fdlint:serial values must not outlive the serial section")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range v.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if id, ok := ast.Unparen(val).(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil && serial[obj] {
+						pass.Reportf(val.Pos(), "serial-only stream stored into a composite literal: //fdlint:serial values must not outlive the serial section")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			callee := calleeObject(pass, v)
+			if callee == nil || !parallelFuncs[callee] {
+				return true
+			}
+			for _, arg := range v.Args {
+				if mentionsSerial(pass, arg, serial) {
+					pass.Reportf(arg.Pos(), "serial-only stream passed to //fdlint:parallel function %s: worker interleaving would perturb its draw sequence", callee.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func mentionsSerial(pass *analysis.Pass, e ast.Expr, serial map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && serial[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[f]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[f.Sel]
+	}
+	return nil
+}

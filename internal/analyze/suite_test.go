@@ -1,0 +1,45 @@
+package analyze_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze"
+)
+
+// The dogfood gate: the full fdlint suite must run clean over the
+// whole module. This keeps contract regressions inside tier-1
+// (`go test ./...`), not just the CI lint job — reverting, say, the
+// sorted-key iteration in netsvc.Runs or bench.List fails this test.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	findings, err := analyze.Run("", nil, "repro/...")
+	if err != nil {
+		t.Fatalf("running fdlint suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("fdlint: %d finding(s); the contracts above are documented in README.md \"Static analysis\"", len(findings))
+	}
+}
+
+// The suite is stable in size and order: the driver's -list output and
+// CI caching key off this.
+func TestAllAnalyzers(t *testing.T) {
+	names := []string{}
+	for _, a := range analyze.All() {
+		names = append(names, a.Name)
+	}
+	want := []string{"noalloc", "orderedrange", "purestream", "sharded"}
+	if len(names) != len(want) {
+		t.Fatalf("All() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("All() = %v, want %v", names, want)
+		}
+	}
+}

@@ -87,11 +87,18 @@ func ByID(id string) (Experiment, error) {
 // List returns all experiments sorted by ID (figs first, then tabs,
 // then scenario sweeps, then ablations).
 func List() []Experiment {
-	out := make([]Experiment, 0, len(registry))
-	for _, e := range registry {
-		out = append(out, e)
+	// Harvest and sort the registry keys before building the listing:
+	// IDs are unique, so the sorted keys induce a deterministic order
+	// no matter how the map iterates (fdlint: orderedrange).
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
+	sort.Slice(ids, func(i, j int) bool { return idLess(ids[i], ids[j]) })
+	out := make([]Experiment, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, registry[id])
+	}
 	return out
 }
 

@@ -39,6 +39,31 @@ func TestListOrdered(t *testing.T) {
 	}
 }
 
+// List builds its order by harvesting and sorting the registry map's
+// keys (the fdlint orderedrange contract): the full ID sequence must be
+// strictly sorted under idLess and byte-identical across calls —
+// ranging the map into the output would make both assertions flaky.
+func TestListDeterministic(t *testing.T) {
+	first := List()
+	for i := 1; i < len(first); i++ {
+		if idLess(first[i].ID, first[i-1].ID) {
+			t.Fatalf("List out of order: %s before %s", first[i-1].ID, first[i].ID)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		again := List()
+		if len(again) != len(first) {
+			t.Fatalf("List length changed: %d != %d", len(again), len(first))
+		}
+		for i := range first {
+			if again[i].ID != first[i].ID {
+				t.Fatalf("List order unstable at %d: %s != %s (map iteration order leaking)",
+					i, again[i].ID, first[i].ID)
+			}
+		}
+	}
+}
+
 // Every experiment must run in quick mode, produce rows, and carry a
 // shape statement.
 func TestAllExperimentsRunQuick(t *testing.T) {

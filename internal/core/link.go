@@ -343,9 +343,11 @@ func (l *Link) TransferFrame(payload []byte, opts TransferOptions) (*TransferRes
 // waveform pipeline, writing the detailed result into res. All of
 // res's previous contents are overwritten; its Chunks and Payload
 // storage is reused, so a result recycled across trials makes the
-// steady-state frame exchange allocation-free (see the allocation
-// budget test in link_test.go). On error res is left in an undefined
-// state.
+// steady-state frame exchange allocation-free (see
+// TestTransferFrameIntoAllocFree in link_test.go). On error res is left
+// in an undefined state.
+//
+//fdlint:noalloc
 func (l *Link) TransferFrameInto(payload []byte, opts TransferOptions, res *TransferResult) error {
 	cfg := &l.cfg
 	hdr := phy.Header{
@@ -523,6 +525,9 @@ func (l *Link) TransferFrameInto(payload []byte, opts TransferOptions, res *Tran
 // remapFeedback aligns reader-decoded bits with the chunks they describe:
 // the bit decoded during chunk i's airtime is chunk i-1's ACK (the bit
 // during chunk 0 is the header ACK; the flush bit is the final chunk's).
+// On the TestTransferFrameIntoAllocFree hot path.
+//
+//fdlint:noalloc
 func (l *Link) remapFeedback(res *TransferResult, flushBit byte, flushMargin float64, flushSeen bool, opts TransferOptions) {
 	if opts.DisableFeedback {
 		for i := range res.Chunks {

@@ -376,6 +376,9 @@ func TestEmptyPayloadTransfer(t *testing.T) {
 // frame exchange through a reused result must not allocate at all.
 // This is the contract the experiment harness relies on; any new
 // allocation in link/tag/reader/sigproc frame code trips this test.
+// TransferFrameInto and remapFeedback carry //fdlint:noalloc, so
+// `go run ./cmd/fdlint ./...` pinpoints the construct that would make
+// this test fail.
 func TestTransferFrameIntoAllocFree(t *testing.T) {
 	l, err := NewLink(LinkConfig{Modem: phy.OOK{SamplesPerChip: 4}, ChunkSize: 32, Seed: 1})
 	if err != nil {

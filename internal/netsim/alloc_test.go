@@ -7,6 +7,11 @@ import "testing"
 // Measuring "per round" directly is impossible from outside (setup
 // allocates), so compare whole runs that differ only in round count:
 // the extra rounds must contribute zero allocations.
+//
+// The functions on this path carry //fdlint:noalloc annotations
+// (buildActiveCells, drawSlots, runFrame, runWindowCell, the shard
+// bodies, streamer.observe): `go run ./cmd/fdlint ./...` names the
+// offending construct at the line that would make this test fail.
 func TestRoundLoopAllocFree(t *testing.T) {
 	scenario := func(rounds int) Scenario {
 		return Scenario{

@@ -398,10 +398,10 @@ func run(sc Scenario, seed uint64, workers int, probe roundProbe, st *streamer) 
 	// mobility source) so the per-tag streams never depend on which
 	// features are enabled beyond the scenario itself.
 	root := simrand.New(seed)
-	placeSrc := root.Split()
-	trafficSrc := root.Split()
-	slotSrc := root.Split()
-	mobilitySrc := root.Split()
+	placeSrc := root.Split()    //fdlint:serial
+	trafficSrc := root.Split()  //fdlint:serial
+	slotSrc := root.Split()     //fdlint:serial
+	mobilitySrc := root.Split() //fdlint:serial
 
 	readers := PlaceReaders(sc.Readers)
 	positions, err := PlaceTags(sc.Topology, sc.Tags, sc.RadiusM, sc.Clusters, sc.ClusterSpreadM, readers, placeSrc)
@@ -636,7 +636,10 @@ func run(sc Scenario, seed uint64, workers int, probe roundProbe, st *streamer) 
 }
 
 // buildActiveCells refreshes the list of reader cells the current round
-// opens. Cheap (R <= 64); called every round.
+// opens. Cheap (R <= 64); called every round. Part of the round loop
+// guarded by TestRoundLoopAllocFree.
+//
+//fdlint:noalloc
 func (e *engine) buildActiveCells() {
 	e.activeCells = e.activeCells[:0]
 	for r := range e.readers {
@@ -651,7 +654,10 @@ func (e *engine) buildActiveCells() {
 // order then tag index order within the cell's association list — the
 // exact slotSrc sequence of the serial engine. Contender counts are
 // recorded per cell so the window phase can reproduce the slot
-// histogram without re-reading slotSrc.
+// histogram without re-reading slotSrc. Part of the round loop guarded
+// by TestRoundLoopAllocFree.
+//
+//fdlint:noalloc
 func (e *engine) drawSlots(slotSrc *simrand.Source) {
 	cw := e.sc.ContentionWindow
 	t := &e.tags
@@ -670,6 +676,8 @@ func (e *engine) drawSlots(slotSrc *simrand.Source) {
 
 // cellTags returns reader r's association list (tag indices in tag
 // order).
+//
+//fdlint:noalloc
 func (e *engine) cellTags(r int) []int32 {
 	return e.tagsByReader[e.readerOff[r]:e.readerOff[r+1]]
 }
@@ -713,6 +721,9 @@ func (e *engine) deriveLinks() {
 // however the ranges are sharded. Budget and stats fields are assigned
 // individually — the fresh slices are already zero, so whole-struct
 // literals would only re-clear memory the allocator cleared.
+//
+//fdlint:parallel
+//fdlint:noalloc
 func (e *engine) initShard(w *netWorker, lo, hi int) {
 	sc := &e.sc
 	t := &e.tags
@@ -744,6 +755,9 @@ func (e *engine) initShard(w *netWorker, lo, hi int) {
 }
 
 // deriveShard is the parallel body of deriveLinks for tags [lo, hi).
+//
+//fdlint:parallel
+//fdlint:noalloc
 func (e *engine) deriveShard(lo, hi int) {
 	sc := &e.sc
 	t := &e.tags
@@ -805,6 +819,9 @@ func (e *engine) deriveShard(lo, hi int) {
 // settleShard is the parallel body of the energy settlement for tags
 // [lo, hi). Each tag settles independently; the only cross-tag output
 // is the anyQueued flag, which is a monotonic OR (order-free).
+//
+//fdlint:parallel
+//fdlint:noalloc
 func (e *engine) settleShard(lo, hi int) {
 	sc := &e.sc
 	t := &e.tags
@@ -844,6 +861,9 @@ func (e *engine) settleShard(lo, hi int) {
 
 // drainShard is the parallel body of the end-of-run finalisation for
 // tags [lo, hi): adaptation stats, outage, lifetime.
+//
+//fdlint:parallel
+//fdlint:noalloc
 func (e *engine) drainShard(lo, hi int) {
 	t := &e.tags
 	sim := e.res.SimulatedS
@@ -875,7 +895,11 @@ func (e *engine) drainShard(lo, hi int) {
 // stream state into the worker's scratch sources around the exchange.
 // Full duplex draws a fresh seed per transmission so feedback-decoding
 // randomness is independent across frames (the protocol reseeds its
-// internal source on every Run call).
+// internal source on every Run call). Part of the round loop guarded by
+// TestRoundLoopAllocFree and TestShardedRoundLoopAllocFree.
+//
+//fdlint:parallel
+//fdlint:noalloc
 func (e *engine) runFrame(w *netWorker, i int32) mac.Result {
 	t := &e.tags
 	w.lossSrc.SetState(t.lossHi[i], t.lossLo[i])
@@ -913,7 +937,12 @@ func (e *engine) runFrame(w *netWorker, i int32) mac.Result {
 // only this cell's execution touches its tags' queues and deaths settle
 // at round end — and then executes the slots exactly as the serial
 // engine did. Everything written here is owned by the cell: its tags'
-// columns, its reader's stats, its cellAcc entry.
+// columns, its reader's stats, its cellAcc entry. Part of the round
+// loop guarded by TestRoundLoopAllocFree and
+// TestShardedRoundLoopAllocFree.
+//
+//fdlint:parallel
+//fdlint:noalloc
 func (e *engine) runWindowCell(w *netWorker, ci int) {
 	acc := &e.cellAcc[ci]
 	*acc = cellAcc{}

@@ -100,6 +100,8 @@ type pool struct {
 // allocates — an allocation on first use would land on whichever
 // worker happened to claim the first frame, making allocation counts
 // scheduling-dependent.
+//
+//fdlint:workerpool
 func (p *pool) start(e *engine, workers int) {
 	p.e = e
 	p.workers = make([]*netWorker, workers)
@@ -169,7 +171,11 @@ func (p *pool) dispatch(ph phaseKind) {
 	p.wg.Wait()
 }
 
-// runPhase claims shards until the phase is exhausted.
+// runPhase claims shards until the phase is exhausted. Executes on
+// pool workers; the shared shard counter is the only synchronisation.
+//
+//fdlint:parallel
+//fdlint:noalloc
 func (p *pool) runPhase(w *netWorker, ph phaseKind) {
 	e := p.e
 	n := p.shardCount(ph)

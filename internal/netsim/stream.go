@@ -158,7 +158,12 @@ func (st *streamer) init(e *engine) {
 // it to the sink (unless the round predates a resume cursor). Deltas
 // are tracked every round regardless of emission, so a resumed stream's
 // first snapshot carries the same deltas the uninterrupted stream's
-// did.
+// did. Runs once per settled round inside the same round loop the
+// TestRoundLoopAllocFree family budgets, so it must stay
+// allocation-free: the snapshot struct and its slices are sized once in
+// init and reused for every round.
+//
+//fdlint:noalloc
 func (st *streamer) observe(e *engine, res *NetResult, round int) error {
 	s := &st.snap
 	t := &e.tags

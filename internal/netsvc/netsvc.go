@@ -157,16 +157,24 @@ func (s *Server) CancelRuns() {
 func (s *Server) Runs() []RunStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]RunStatus, 0, len(s.runs))
+	// Harvest and sort the map keys before building the listing: run
+	// IDs are unique, so the sorted keys induce a deterministic order
+	// no matter how the map iterates (fdlint: orderedrange).
+	ids := make([]uint64, 0, len(s.runs))
+	for id := range s.runs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]RunStatus, 0, len(ids))
 	now := time.Now()
-	for _, ri := range s.runs {
+	for _, id := range ids {
+		ri := s.runs[id]
 		out = append(out, RunStatus{
 			ID: ri.id, Name: ri.name, Seed: ri.seed,
 			Round: int(ri.round), MaxRounds: ri.maxRounds, StartRound: ri.startRound,
 			RunningS: now.Sub(ri.started).Seconds(),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
