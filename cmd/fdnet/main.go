@@ -14,10 +14,13 @@
 //	fdnet -preset lab-bench -format csv -seed 7
 //	fdnet -preset warehouse -workers 8      # shard the engine
 //	fdnet -preset million -analytic -summary
+//	fdnet -preset congested-dock -policy fifo       # swap admission
+//	fdnet -preset warehouse -congestion cubic -load 1.5
 //
 // Overrides (-tags, -topology, -radius, -load, -protocol, -readers,
-// -scheduling, -mobility, -rateadapt, -faderho, -analytic) apply on
-// top of the preset or file; everything else comes from the scenario.
+// -scheduling, -mobility, -rateadapt, -faderho, -policy, -congestion,
+// -analytic) apply on top of the preset or file; everything else comes
+// from the scenario.
 // Runs are deterministic: same scenario + seed, same output — at ANY
 // -workers count (sharding changes who computes, never what). The
 // resolved worker count goes to stderr so stdout stays byte-stable.
@@ -52,6 +55,8 @@ func main() {
 		mobility   = flag.Float64("mobility", 0, "enable waypoint mobility with this drift step (m/epoch)")
 		rateadapt  = flag.String("rateadapt", "", "enable closed-loop rate adaptation with this policy (fixed, arf, fd)")
 		fadeRho    = flag.Float64("faderho", -1, "override the per-chunk fading correlation, in [0, 1)")
+		policy     = flag.String("policy", "", "override reader admission policy (aloha, fifo, prop-fair, deadline)")
+		congestion = flag.String("congestion", "", "enable closed-loop congestion control with this controller (cubic)")
 		workers    = flag.Int("workers", 0, "engine workers (0 = one per CPU); the result is identical at any count")
 		analytic   = flag.Bool("analytic", false, "use the closed-form analytic engine (delivery-tight, airtime-optimistic)")
 		summary    = flag.Bool("summary", false, "print only the aggregate block, not the per-tag table")
@@ -72,6 +77,15 @@ func main() {
 			}
 			if sc.RateAdapt.Adapter != "" {
 				extra += fmt.Sprintf(", rate-adapt %s (fade rho %.3g)", sc.RateAdapt.Adapter, sc.RateAdapt.FadeRho)
+			}
+			if sc.Congestion.Controller != "" {
+				extra += fmt.Sprintf(", congestion %s", sc.Congestion.Controller)
+			}
+			if sc.Readers.Policy != netsim.PolicyAloha {
+				extra += fmt.Sprintf(", policy %s", sc.Readers.Policy)
+			}
+			if len(sc.Faults.Events) > 0 || sc.Faults.OutageRate > 0 || sc.Faults.InterferenceRate > 0 || sc.Faults.ChurnRate > 0 {
+				extra += ", faults"
 			}
 			fmt.Printf("  %-14s %d tags, %s, r=%gm%s\n", name, sc.Tags, sc.Topology, sc.RadiusM, extra)
 		}
@@ -125,6 +139,12 @@ func main() {
 	}
 	if *fadeRho >= 0 {
 		sc.RateAdapt.FadeRho = *fadeRho
+	}
+	if *policy != "" {
+		sc.Readers.Policy = *policy
+	}
+	if *congestion != "" {
+		sc.Congestion.Controller = *congestion
 	}
 	if *analytic {
 		sc.Analytic = true
@@ -192,11 +212,27 @@ func main() {
 // whole output in -summary mode, the table's tail otherwise.
 func printAggregates(res *netsim.NetResult, w io.Writer) {
 	if len(res.Readers) > 1 {
-		fmt.Fprintf(w, "\nreaders (%s):\n", res.Scenario.Readers.Scheduling)
+		fmt.Fprintf(w, "\nreaders (%s, %s):\n", res.Scenario.Readers.Scheduling, res.Scenario.Readers.Policy)
 		for _, r := range res.Readers {
-			fmt.Fprintf(w, "  reader %d at (%+.1f, %+.1f): %d tags, delivered %d, slots single/collision %d/%d\n",
+			fmt.Fprintf(w, "  reader %d at (%+.1f, %+.1f): %d tags, delivered %d, slots single/collision %d/%d",
 				r.ID, r.X, r.Y, r.AssociatedTags, r.FramesDelivered,
 				r.SingletonSlots, r.CollisionSlots)
+			if r.QueueDepth > 0 {
+				fmt.Fprintf(w, ", backlog %d", r.QueueDepth)
+			}
+			if r.SaturationOnset > 0 {
+				fmt.Fprintf(w, ", saturated @%d", r.SaturationOnset)
+				if r.RecoveryRound > 0 {
+					fmt.Fprintf(w, " recovered @%d", r.RecoveryRound)
+				}
+			}
+			if r.OutageRounds > 0 {
+				fmt.Fprintf(w, ", down %d rounds", r.OutageRounds)
+			}
+			if r.InterferenceRounds > 0 {
+				fmt.Fprintf(w, ", interfered %d rounds", r.InterferenceRounds)
+			}
+			fmt.Fprintln(w)
 		}
 	}
 	fmt.Fprintf(w, "\nrounds %d  slots idle/single/collision %d/%d/%d  elapsed %d B (%.3f s)\n",
@@ -209,5 +245,10 @@ func printAggregates(res *netsim.NetResult, w io.Writer) {
 		fmt.Fprintf(w, "rate adaptation (%s, fade rho %.3g): mean mult %.2fx, %d switches, lag %.3f over %d chunks\n",
 			res.Scenario.RateAdapt.Adapter, res.Scenario.RateAdapt.FadeRho,
 			res.MeanRateMult(), res.RateSwitches, res.AdaptLagFraction(), res.AdaptChunks)
+	}
+	if res.Scenario.Congestion.Controller != "" {
+		fmt.Fprintf(w, "congestion (%s): %d timeouts, %d retransmissions, %d retx-dropped, mean cwnd %.2f\n",
+			res.Scenario.Congestion.Controller, res.Timeouts, res.Retransmissions,
+			res.RetxDropped, res.MeanCwnd())
 	}
 }

@@ -147,6 +147,16 @@ type (
 	// adaptation over a Gauss-Markov fading channel: fixed rate, ARF
 	// frame probing, or the paper's full-duplex per-chunk policy.
 	RateAdaptSpec = netsim.RateAdaptSpec
+	// CongestionSpec configures optional per-tag closed-loop congestion
+	// control: EWMA RTT with Jacobson RTO, cubic window growth, and a
+	// bounded, backed-off retransmission queue.
+	CongestionSpec = netsim.CongestionSpec
+	// FaultSpec configures the deterministic fault-injection layer:
+	// scheduled or seed-derived reader outages, interference bursts and
+	// tag churn.
+	FaultSpec = netsim.FaultSpec
+	// FaultEvent is one scheduled fault in a FaultSpec.
+	FaultEvent = netsim.FaultEvent
 	// NetResult aggregates one scenario run (per-tag and per-reader
 	// outcomes plus cell-level delivery, throughput, collision and
 	// energy metrics).
@@ -175,6 +185,35 @@ const (
 	RateAdaptARF = netsim.RateAdaptARF
 	// RateAdaptFD adapts per chunk on the full-duplex feedback channel.
 	RateAdaptFD = netsim.RateAdaptFD
+)
+
+// Congestion controller names for CongestionSpec.Controller.
+const (
+	// CongestionCubic grows the window along the cubic curve and
+	// multiplicatively decreases on timeout.
+	CongestionCubic = netsim.CongestionCubic
+)
+
+// Reader admission policy names for ReaderSpec.Policy.
+const (
+	// PolicyAloha is framed-slotted-ALOHA contention (the default).
+	PolicyAloha = netsim.PolicyAloha
+	// PolicyFIFO grants oldest-backlog-first, collision-free.
+	PolicyFIFO = netsim.PolicyFIFO
+	// PolicyPropFair grants by waiting time over accumulated service.
+	PolicyPropFair = netsim.PolicyPropFair
+	// PolicyDeadline is EDF with deadline-miss drops.
+	PolicyDeadline = netsim.PolicyDeadline
+)
+
+// Fault kinds for FaultEvent.Kind.
+const (
+	// FaultReaderOutage darkens a reader for a stretch of rounds; its
+	// tags re-associate to the strongest surviving carrier.
+	FaultReaderOutage = netsim.FaultReaderOutage
+	// FaultInterference raises a reader cell's chunk-loss probability
+	// for a stretch of rounds.
+	FaultInterference = netsim.FaultInterference
 )
 
 // RunScenario executes a multi-tag network scenario deterministically

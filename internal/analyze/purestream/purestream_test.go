@@ -13,6 +13,7 @@ import (
 // non-engine packages.
 func TestPurestream(t *testing.T) {
 	analysistest.Run(t, "testdata", purestream.Analyzer, "puretest/internal/mac")
+	analysistest.Run(t, "testdata", purestream.Analyzer, "puretest/internal/netsim")
 	analysistest.Run(t, "testdata", purestream.Analyzer, "puretest/clock")
 }
 

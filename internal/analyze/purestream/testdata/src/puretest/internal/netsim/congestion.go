@@ -1,0 +1,34 @@
+// Package netsim is the congestion-control corpus: retransmission
+// backoff jitter is part of the simulation output (it decides when a
+// parked frame re-enters contention), so it must be drawn from the
+// tag's seeded protocol stream — never from the wall clock or an
+// ambient RNG, which would make two runs of the same (Scenario, seed)
+// disagree on every retx schedule.
+package netsim
+
+import (
+	"math/rand/v2" // want `engine package imports math/rand/v2: RNG outside the seeded split tree`
+	"time"
+
+	"repro/internal/simrand"
+)
+
+type congState struct {
+	retxAt []int32
+	proto  *simrand.Source
+}
+
+// GoodJitter re-arms a retransmission from the tag's seeded protocol
+// stream: the stream position, not the host, decides the deadline.
+func (c *congState) GoodJitter(i int, round, delay int32) {
+	j := int32(c.proto.Float64() * float64(delay))
+	c.retxAt[i] = round + delay + j
+}
+
+// BadJitter derives the backoff jitter from the wall clock and the
+// process-global RNG: the retx schedule becomes host- and
+// time-dependent, breaking byte-identical replay.
+func (c *congState) BadJitter(i int, round, delay int32) {
+	j := int32(time.Now().UnixNano() % int64(delay)) // want `engine package uses time.Now: wall-clock time`
+	c.retxAt[i] = round + delay + j + int32(rand.IntN(int(delay)))
+}

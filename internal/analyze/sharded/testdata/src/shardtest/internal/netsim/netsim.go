@@ -66,6 +66,39 @@ func (e *engine) chatty(w *worker, done chan int) {
 	}
 }
 
+// congShard is the congestion-control miniature: per-tag window and
+// retx columns advanced inside parallel sections, with delivery
+// accounting that must stay in worker-local columns until the serial
+// drain — never flow through channels mid-shard.
+type congShard struct {
+	cwnd  []float64
+	acked chan int
+}
+
+// congGood decays windows using only the worker's own loss stream and
+// writes only this shard's columns: clean.
+//
+//fdlint:parallel
+func (e *engine) congGood(w *worker, c *congShard, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if w.lossSrc.Uint64()&1 == 0 {
+			c.cwnd[i] *= 0.7
+		}
+	}
+}
+
+// congBad reports deliveries over a channel from inside the shard and
+// draws retx jitter from the shared engine source: both make the
+// outcome depend on worker interleaving.
+//
+//fdlint:parallel
+func (e *engine) congBad(w *worker, c *congShard, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		c.acked <- i // want `sends on a channel`
+	}
+	_ = e.src.Uint64() // want `uses a \*simrand.Source not rooted at a parameter`
+}
+
 // shardWork is parameter-rooted and clean; it exists as a parallel
 // target for the serial-stream rule below.
 //

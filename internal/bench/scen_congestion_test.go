@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+// The scen-congestion cell pins the paper's collapse claim: the
+// full-duplex goodput advantage over half-duplex must GROW as offered
+// load pushes the cell through its congestion knee — FD aborts a
+// collided or timed-out frame within a few chunks while half-duplex
+// burns the whole attempt, so the asymmetry compounds exactly when
+// collisions multiply. The ratio climbs steeply through the knee and
+// saturates once the cell is fully collapsed; the pin demands
+// non-decreasing within a small noise tolerance plus a substantial
+// overall rise.
+func TestScenCongestionFDAdvantageMonotone(t *testing.T) {
+	exp, err := ByID("scen-congestion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := exp.Run(RunConfig{Seed: 1})
+	rows := res.Table.Rows()
+	if len(rows) < 4 {
+		t.Fatalf("scen-congestion produced only %d rows", len(rows))
+	}
+	const ratioCol = 3 // load, fd_goodput, hd_goodput, fd_hd_ratio, ...
+	ratios := make([]float64, len(rows))
+	for i, row := range rows {
+		v, err := strconv.ParseFloat(row[ratioCol], 64)
+		if err != nil {
+			t.Fatalf("row %d: bad ratio %q: %v", i, row[ratioCol], err)
+		}
+		ratios[i] = v
+	}
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] < ratios[i-1]-0.05 {
+			t.Fatalf("FD/HD goodput ratio fell from %.3f to %.3f between loads %s and %s; the advantage must grow through collapse",
+				ratios[i-1], ratios[i], rows[i-1][0], rows[i][0])
+		}
+	}
+	if ratios[0] >= ratios[len(ratios)-1] {
+		t.Fatalf("ratio never rose across the sweep (%.3f -> %.3f)", ratios[0], ratios[len(ratios)-1])
+	}
+	if last := ratios[len(ratios)-1]; last < 1.5 {
+		t.Fatalf("collapsed-cell FD advantage %.3f too small; the burned-frame asymmetry should exceed 1.5x", last)
+	}
+	if first := ratios[0]; first > 1.5 {
+		t.Fatalf("idle-cell FD advantage %.3f already saturated; the sweep must start below the knee", first)
+	}
+}

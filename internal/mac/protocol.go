@@ -123,6 +123,9 @@ type Result struct {
 	// chunk finishing and the sender learning its fate.
 	FeedbackDelaySum   int64
 	FeedbackDelayCount int64
+	// Attempts counts frame transmission attempts across the run
+	// (>= FramesSent; the gap is the retry burden).
+	Attempts int64
 }
 
 // Efficiency returns goodput bytes per transmitted airtime byte.
@@ -210,6 +213,7 @@ func (s *StopAndWait) Run(nFrames int, loss Loss) Result {
 		var frameElapsed int64
 		delivered := false
 		for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+			res.Attempts++
 			ok := true
 			for c := 0; c < n; c++ {
 				res.ChunkTx++
@@ -277,6 +281,7 @@ func (s *BlockACK) Run(nFrames int, loss Loss) Result {
 		var frameElapsed int64
 		delivered := false
 		for attempt := 0; attempt < p.MaxAttempts && pending > 0; attempt++ {
+			res.Attempts++
 			attemptAir := int64(p.HeaderBytes + pending*p.chunkAir())
 			stillBad := 0
 			for c := 0; c < pending; c++ {
@@ -393,6 +398,7 @@ func (s *FullDuplex) Run(nFrames int, loss Loss) Result {
 		attempts := 0
 		for !frameDone && attempts < p.MaxAttempts {
 			attempts++
+			res.Attempts++
 			// Build the queue of chunks the sender believes missing.
 			queue := s.queue[:0]
 			for i := 0; i < n; i++ {

@@ -65,6 +65,41 @@ func TestRoundLoopAllocFreeWithRateAdapt(t *testing.T) {
 	}
 }
 
+// The congestion/fault/policy machinery must hold the same budget: the
+// cwnd/RTT/retx columns, the fault masks, and the policy grant lists
+// are all allocated at setup, retx jitter rides the tags' existing
+// protocol streams through worker scratch, and the fault step's hazard
+// draws come from one source allocated before the loop — so extra
+// rounds still contribute zero allocations.
+func TestRoundLoopAllocFreeWithCongestionFaults(t *testing.T) {
+	scenario := func(rounds int) Scenario {
+		return Scenario{
+			Name: "alloc-budget-cong", Tags: 24, Topology: TopologyClustered,
+			RadiusM: 10, Clusters: 3, CapacitanceF: 47e-6,
+			OfferedLoad: 0.8, MaxRounds: rounds, QueueCap: 32,
+			Readers:    ReaderSpec{Count: 2, Placement: ReaderLine, SpacingM: 10, Policy: PolicyPropFair},
+			Congestion: CongestionSpec{Controller: CongestionCubic},
+			Faults: FaultSpec{
+				OutageRate: 0.02, InterferenceRate: 0.05, ChurnRate: 0.01,
+			},
+		}
+	}
+	measure := func(rounds int) float64 {
+		sc := scenario(rounds)
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Run(sc, 7); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := measure(50)
+	long := measure(250)
+	if extra := long - short; extra != 0 {
+		t.Fatalf("200 extra congested rounds allocated %.1f objects (%.3f/round); the round loop must not allocate",
+			extra, extra/200)
+	}
+}
+
 // The sharded round loop must hold the same budget at every worker
 // count: worker scratch (protocol instances, stream-loading sources,
 // slot histograms) is allocated at pool start and the dispatch

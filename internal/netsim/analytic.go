@@ -77,12 +77,19 @@ func (e *engine) analyticFrame(w *netWorker, i int32) mac.Result {
 		p = rateadapt.ChunkLossProb(r, f.meanSNR[i])
 		chunkAirF /= mult
 	}
+	if flt := e.flt; flt != nil {
+		// Interference bursts compose into the chunk loss exactly as on
+		// the exact path.
+		if q := flt.cellLoss[t.reader[i]]; q > 0 {
+			p += (1 - p) * q
+		}
+	}
 	headerF := float64(e.params.HeaderAirBytes())
 	ackF := float64(e.params.AckAirBytes())
 	n := e.params.NumChunks()
 	A := e.params.MaxAttempts
 
-	var air, chunkTx, pDeliver float64
+	var air, chunkTx, pDeliver, attempts float64
 	switch e.sc.Protocol {
 	case "stop-and-wait":
 		qf := math.Pow(1-p, float64(n))
@@ -93,6 +100,7 @@ func (e *engine) analyticFrame(w *netWorker, i int32) mac.Result {
 		}
 		air = eAtt * (headerF + float64(n)*chunkAirF + ackF)
 		chunkTx = eAtt * float64(n)
+		attempts = eAtt
 	case "block-ack":
 		pend := float64(n)
 		failK := 1.0 // p^(k-1): P(one chunk still pending before attempt k)
@@ -100,6 +108,7 @@ func (e *engine) analyticFrame(w *netWorker, i int32) mac.Result {
 			pAtt := 1 - math.Pow(1-failK, float64(n))
 			air += pAtt*(headerF+ackF) + pend*chunkAirF
 			chunkTx += pend
+			attempts += pAtt
 			pend *= p
 			failK *= p
 		}
@@ -112,6 +121,7 @@ func (e *engine) analyticFrame(w *netWorker, i int32) mac.Result {
 			pAtt := 1 - math.Pow(1-failK, float64(n))
 			air += pAtt*headerF + pend*chunkAirF
 			chunkTx += pend
+			attempts += pAtt
 			pend *= fail
 			failK *= fail
 		}
@@ -135,7 +145,8 @@ func (e *engine) analyticFrame(w *netWorker, i int32) mac.Result {
 	}
 
 	airB := int64(math.Round(air))
-	mr := mac.Result{FramesSent: 1, ElapsedBytes: airB, AirtimeBytes: airB}
+	mr := mac.Result{FramesSent: 1, ElapsedBytes: airB, AirtimeBytes: airB,
+		Attempts: int64(math.Round(attempts))}
 	if delivered {
 		mr.FramesDelivered = 1
 		mr.GoodputBytes = int64(e.params.PayloadBytes)

@@ -141,12 +141,27 @@ type TagStats struct {
 	Collisions int
 	// AirtimeBytes is the tag's share of transmitted airtime.
 	AirtimeBytes int64
+	// MACAttempts counts frame transmission attempts inside the MAC
+	// exchanges this tag ran (>= FramesDelivered; the gap is the
+	// per-frame retry burden the link quality imposed).
+	MACAttempts int64
 	// OutageFraction is the fraction of simulated time spent browned
 	// out; Alive is the final state; LifetimeS is the time of death
 	// (total simulated time when the tag survived).
 	OutageFraction float64
 	Alive          bool
 	LifetimeS      float64
+
+	// Closed-loop congestion-control outcomes (zeros when the
+	// scenario's Congestion spec is disabled).
+
+	// Timeouts counts loss events (RTO expiries and MAC-attempt
+	// exhaustion); Retransmissions counts parked frames re-entering
+	// service; RetxDropped counts frames lost to a full retx queue.
+	Timeouts, Retransmissions, RetxDropped int
+	// CwndFinal and SRTTRounds report the controller state at the end
+	// of the run (SRTTRounds is 0 before the first RTT sample).
+	CwndFinal, SRTTRounds float64
 
 	// Closed-loop rate adaptation statistics (nil slices / zeros when
 	// the scenario's RateAdapt spec is disabled).
@@ -196,6 +211,20 @@ type NetResult struct {
 	// adaptInvMult backs MeanRateMult.
 	RateSwitches, AdaptChunks, AdaptLagChunks int64
 	adaptInvMult                              float64
+	// Timeouts / Retransmissions / RetxDropped aggregate the per-tag
+	// congestion-control counters (zero when Congestion is disabled);
+	// cwndSum backs MeanCwnd.
+	Timeouts, Retransmissions, RetxDropped int64
+	cwndSum                                float64
+}
+
+// MeanCwnd returns the population mean congestion window at the end of
+// the run (0 when congestion control is disabled).
+func (r *NetResult) MeanCwnd() float64 {
+	if r.cwndSum == 0 || len(r.Tags) == 0 {
+		return 0
+	}
+	return r.cwndSum / float64(len(r.Tags))
 }
 
 // MeanRateMult returns the population's time-weighted mean rate
@@ -307,6 +336,9 @@ type roundState struct {
 	txDt     []float64 // seconds spent transmitting this round (pre-reset)
 	alive    []bool
 	harvestW []float64 // effective harvest power settled this round
+	queue    []int32   // frames awaiting delivery after this round
+	stats    []TagStats
+	cong     *congState // live congestion columns (nil when disabled)
 }
 
 // roundProbe observes the engine at each round's energy settlement:
@@ -324,7 +356,10 @@ type engine struct {
 	readers []Position
 	rstats  []ReaderStats
 	tags    tagState
-	fade    *fadeState // closed-loop rate adaptation state (nil when disabled)
+	fade    *fadeState  // closed-loop rate adaptation state (nil when disabled)
+	cong    *congState  // closed-loop congestion control state (nil when disabled)
+	sched   *schedState // reader scheduling policy state (nil under PolicyAloha)
+	flt     *faultState // fault-injection state (nil when disabled)
 	// gains[i*R+r] is the linear power gain from reader r to tag i,
 	// re-derived per epoch under mobility.
 	gains []float64
@@ -360,8 +395,11 @@ type engine struct {
 	cellContenders []int32
 	cellAcc        []cellAcc
 	activeReader   int // <0: every reader is active
-	settleDt       float64
-	settleNow      float64
+	// curRound is the 0-based round the parallel phases are executing;
+	// written serially between phases.
+	curRound  int
+	settleDt  float64
+	settleNow float64
 	// res is set for the drain phase only (LifetimeS needs SimulatedS);
 	// nil during rounds.
 	res *NetResult
@@ -480,6 +518,21 @@ func run(sc Scenario, seed uint64, workers int, probe roundProbe, st *streamer) 
 		// tag's existing loss stream.
 		e.fade = newFadeState(sc.RateAdapt, sc.Tags, seed)
 	}
+	if sc.Congestion.enabled() {
+		e.cong = newCongState(sc.Congestion, sc.Tags, sc.QueueCap)
+	}
+	if sc.Readers.Policy != PolicyAloha {
+		e.sched = newSchedState(sc.Readers, sc.Tags)
+	}
+	// The fault stream is hashed off the run seed (the fadeSeed
+	// pattern), not split from the tree: enabling faults must not shift
+	// any stream the fault-free engine draws. It stays serial — every
+	// transition happens between rounds on this goroutine.
+	var faultSrc *simrand.Source
+	if sc.Faults.enabled() {
+		e.flt = newFaultState(sc.Faults, sc.Tags, R)
+		faultSrc = simrand.New(faultSeed(seed)) //fdlint:serial
+	}
 	e.pool.start(e, workers)
 	defer e.pool.stop()
 	e.pool.dispatch(phaseInit)
@@ -515,6 +568,7 @@ func run(sc Scenario, seed uint64, workers int, probe roundProbe, st *streamer) 
 			break
 		}
 		res.Rounds = round + 1
+		e.curRound = round
 		if round%epochLen == 0 {
 			if walk != nil && round > 0 {
 				walk.advance(t.pos)
@@ -523,6 +577,14 @@ func run(sc Scenario, seed uint64, workers int, probe roundProbe, st *streamer) 
 			if e.tdm {
 				e.activeReader = (round / epochLen) % R
 			}
+		}
+		if e.flt != nil {
+			// Fault transitions happen serially before the round opens:
+			// recoveries and outages may re-derive links (tags
+			// re-associate to the strongest surviving carrier), churned
+			// tags flush their backlog, and the per-cell interference
+			// view refreshes.
+			e.flt.step(e, round, faultSrc)
 		}
 		e.buildActiveCells()
 
@@ -538,14 +600,39 @@ func run(sc Scenario, seed uint64, workers int, probe roundProbe, st *streamer) 
 				if !t.alive[i] {
 					continue
 				}
+				if e.flt != nil && e.flt.dormant[i] {
+					// A churned-away tag generates no traffic while gone
+					// (the draw above still happened, so its return never
+					// shifts the arrival stream the others see).
+					continue
+				}
 				t.stats[i].FramesOffered += k
 				free := int32(sc.QueueCap) - t.queue[i]
+				if free < 0 {
+					// A retx re-admission can push the queue one past the
+					// cap transiently; never let arrivals "fill" a
+					// negative gap.
+					free = 0
+				}
 				if int32(k) > free {
 					t.stats[i].FramesDropped += k - int(free)
 					k = int(free)
 				}
+				if s := e.sched; s != nil && t.queue[i] == 0 && k > 0 {
+					s.backlogSince[i] = int32(round)
+				}
 				t.queue[i] += int32(k)
 			}
+		}
+
+		if e.sched != nil && e.sched.policy == PolicyDeadline {
+			e.dropDeadlines(round)
+		}
+		if e.cong != nil {
+			// Congestion pass (parallel over tag shards): RTO expiry,
+			// retx re-admission, and the pacing gate set each tag's
+			// contention eligibility for this round.
+			e.pool.dispatch(phaseCong)
 		}
 
 		// Phase A (serial): slot draws, cell by cell in reader order —
@@ -570,6 +657,22 @@ func run(sc Scenario, seed uint64, workers int, probe roundProbe, st *streamer) 
 			res.CollisionSlots += acc.collisionSlots
 			res.CollisionBytes += acc.collisionBytes
 			res.GoodputBytes += acc.goodputBytes
+			// Hotspot bookkeeping (serial, cell order): a cell whose
+			// window occupancy first crosses satOnsetFrac marks its
+			// saturation onset; the first later round back at or below
+			// satRecoveryFrac marks recovery.
+			rs := &e.rstats[e.activeCells[ci]]
+			occ := float64(acc.singletonSlots+acc.collisionSlots) / float64(sc.ContentionWindow)
+			switch {
+			case rs.SaturationOnset == 0:
+				if occ >= satOnsetFrac {
+					rs.SaturationOnset = round + 1
+				}
+			case rs.RecoveryRound == 0:
+				if occ <= satRecoveryFrac {
+					rs.RecoveryRound = round + 1
+				}
+			}
 		}
 
 		// Phase C (parallel): settle every tag's energy budget over the
@@ -589,6 +692,7 @@ func run(sc Scenario, seed uint64, workers int, probe roundProbe, st *streamer) 
 		if probe != nil {
 			probe(round, e.settleDt, roundState{
 				txCount: t.txCount, txDt: t.txDt, alive: t.alive, harvestW: e.harvest,
+				queue: t.queue, stats: t.stats, cong: e.cong,
 			})
 		}
 		clear(t.txCount)
@@ -624,16 +728,45 @@ func run(sc Scenario, seed uint64, workers int, probe roundProbe, st *streamer) 
 			res.AdaptLagChunks += f.lag[i]
 			res.adaptInvMult += f.invMult[i]
 		}
+		if c := e.cong; c != nil {
+			res.Timeouts += int64(c.timeouts[i])
+			res.Retransmissions += int64(c.retxCount[i])
+			res.RetxDropped += int64(c.retxDrops[i])
+			res.cwndSum += c.cwnd[i]
+		}
 		res.FramesOffered += int64(ts.FramesOffered)
 		res.FramesDelivered += int64(ts.FramesDelivered)
 		res.FramesDropped += int64(ts.FramesDropped)
+		// Per-reader drain by final association: residual queue depth
+		// (the backlog the run left stranded) and the congestion
+		// timeouts the reader's cell inflicted.
+		rs := &e.rstats[t.reader[i]]
+		rs.QueueDepth += int64(t.queue[i])
+		if c := e.cong; c != nil {
+			rs.QueueDepth += int64(c.retxQ[i])
+			rs.Timeouts += int64(c.timeouts[i])
+		}
 	}
 	for r := range e.rstats {
 		e.rstats[r].AssociatedTags = int(e.readerOff[r+1] - e.readerOff[r])
+		if f := e.flt; f != nil {
+			e.rstats[r].OutageRounds = int(f.outageRounds[r])
+			e.rstats[r].InterferenceRounds = int(f.interfRounds[r])
+		}
 		res.Readers = append(res.Readers, e.rstats[r])
 	}
 	return res, nil
 }
+
+// Hotspot thresholds: a reader cell is saturated when its window
+// occupancy (non-idle slots over the contention window) reaches
+// satOnsetFrac, and has recovered once it falls back to
+// satRecoveryFrac — the hysteresis keeps a cell hovering at the knee
+// from toggling.
+const (
+	satOnsetFrac    = 0.95
+	satRecoveryFrac = 0.5
+)
 
 // buildActiveCells refreshes the list of reader cells the current round
 // opens. Cheap (R <= 64); called every round. Part of the round loop
@@ -646,8 +779,35 @@ func (e *engine) buildActiveCells() {
 		if e.activeReader >= 0 && r != e.activeReader {
 			continue
 		}
+		if e.flt != nil && e.flt.down[r] {
+			// An outaged reader opens no window; its tags either
+			// re-associated at the outage edge or (when every reader is
+			// down) wait it out.
+			continue
+		}
 		e.activeCells = append(e.activeCells, int32(r))
 	}
+}
+
+// contends reports whether tag i contends for a slot this round: alive
+// with a backlog, not churned away, and (under congestion control)
+// granted eligibility by this round's congestion pass. With every
+// optional layer disabled this reduces exactly to the alive && queued
+// check the pre-congestion engine made.
+//
+//fdlint:noalloc
+func (e *engine) contends(i int32) bool {
+	t := &e.tags
+	if !t.alive[i] || t.queue[i] == 0 {
+		return false
+	}
+	if e.flt != nil && e.flt.dormant[i] {
+		return false
+	}
+	if e.cong != nil && !e.cong.eligible[i] {
+		return false
+	}
+	return true
 }
 
 // drawSlots draws every contender's slot for each active cell, in cell
@@ -660,14 +820,17 @@ func (e *engine) buildActiveCells() {
 //fdlint:noalloc
 func (e *engine) drawSlots(slotSrc *simrand.Source) {
 	cw := e.sc.ContentionWindow
-	t := &e.tags
 	for ci, r := range e.activeCells {
 		contenders := int32(0)
 		for _, i := range e.cellTags(int(r)) {
-			if !t.alive[i] || t.queue[i] == 0 {
+			if !e.contends(i) {
 				continue
 			}
-			e.slotChoice[i] = int32(slotSrc.IntN(cw))
+			if e.sched == nil {
+				// Policy-scheduled cells grant slots instead of drawing
+				// them, so the slot stream is only consumed under ALOHA.
+				e.slotChoice[i] = int32(slotSrc.IntN(cw))
+			}
 			contenders++
 		}
 		e.cellContenders[ci] = contenders
@@ -762,6 +925,14 @@ func (e *engine) deriveShard(lo, hi int) {
 	sc := &e.sc
 	t := &e.tags
 	R := len(e.readers)
+	// Under faults, outaged readers stop carrying: they are excluded
+	// from association, harvest and interference until they recover
+	// (mask is nil when every reader is down — nothing to associate to,
+	// so association falls back to geometry and the cells stay closed).
+	var downMask []bool
+	if e.flt != nil {
+		downMask = e.flt.mask()
+	}
 	for i := lo; i < hi; i++ {
 		base := i * R
 		best, bestG := 0, -1.0
@@ -770,6 +941,9 @@ func (e *engine) deriveShard(lo, hi int) {
 		for r := 0; r < R; r++ {
 			g := e.pl.Gain(math.Hypot(px-e.readers[r].X, py-e.readers[r].Y))
 			e.gains[base+r] = g
+			if downMask != nil && downMask[r] {
+				continue
+			}
 			sumW += sc.TxPowerW * g
 			if g > bestG {
 				best, bestG = r, g
@@ -832,6 +1006,9 @@ func (e *engine) settleShard(lo, hi int) {
 		harvestW := t.harvestW[i]
 		if e.activeReader >= 0 {
 			harvestW = sc.TxPowerW * e.gains[i*R+e.activeReader]
+			if e.flt != nil && e.flt.down[e.activeReader] {
+				harvestW = 0 // the epoch's only carrier is out
+			}
 		}
 		circuitW := sc.IdleCircuitW
 		if dt > 0 {
@@ -850,7 +1027,9 @@ func (e *engine) settleShard(lo, hi int) {
 			t.alive[i] = false
 			t.dieTime[i] = e.settleNow
 		}
-		if t.alive[i] && t.queue[i] > 0 {
+		if t.alive[i] && (t.queue[i] > 0 || (e.cong != nil && e.cong.retxQ[i] > 0)) {
+			// Parked retransmissions count as pending work: a closed-loop
+			// run must not terminate while frames sit in backoff.
 			queued = true
 		}
 	}
@@ -880,6 +1059,15 @@ func (e *engine) drainShard(lo, hi int) {
 				ts.MeanRateMult = float64(f.chunks[i]) / f.invMult[i]
 			}
 		}
+		if c := e.cong; c != nil {
+			ts.Timeouts = int(c.timeouts[i])
+			ts.Retransmissions = int(c.retxCount[i])
+			ts.RetxDropped = int(c.retxDrops[i])
+			ts.CwndFinal = c.cwnd[i]
+			if c.srtt[i] > 0 {
+				ts.SRTTRounds = c.srtt[i]
+			}
+		}
 		ts.OutageFraction = t.budget[i].OutageFraction()
 		ts.Alive = t.alive[i]
 		if t.alive[i] {
@@ -904,10 +1092,21 @@ func (e *engine) runFrame(w *netWorker, i int32) mac.Result {
 	t := &e.tags
 	w.lossSrc.SetState(t.lossHi[i], t.lossLo[i])
 	w.iid.P = t.lossP[i]
+	extraP := 0.0
+	if f := e.flt; f != nil {
+		// An interference burst on this cell composes into the forward
+		// chunk loss: a chunk survives only if it clears both the
+		// geometric loss and the burst.
+		extraP = f.cellLoss[t.reader[i]]
+		if extraP > 0 {
+			w.iid.P += (1 - w.iid.P) * extraP
+		}
+	}
 	var loss mac.Loss = w.iid
 	if e.fade != nil {
 		w.fv.bind(int(i))
 		w.fv.beginFrame()
+		w.fv.extraP = extraP
 		loss = &w.fv
 	}
 	w.params.FeedbackBER = t.fbBER[i]
@@ -944,6 +1143,10 @@ func (e *engine) runFrame(w *netWorker, i int32) mac.Result {
 //fdlint:parallel
 //fdlint:noalloc
 func (e *engine) runWindowCell(w *netWorker, ci int) {
+	if e.sched != nil {
+		e.runPolicyCell(w, ci)
+		return
+	}
 	acc := &e.cellAcc[ci]
 	*acc = cellAcc{}
 	cw := e.sc.ContentionWindow
@@ -962,7 +1165,7 @@ func (e *engine) runWindowCell(w *netWorker, ci int) {
 		count[s] = 0
 	}
 	for _, i := range idxs {
-		if !t.alive[i] || t.queue[i] == 0 {
+		if !e.contends(i) {
 			continue
 		}
 		s := e.slotChoice[i]
@@ -975,7 +1178,7 @@ func (e *engine) runWindowCell(w *netWorker, ci int) {
 	// transmit energy for that airtime at round-end settlement just like
 	// a singleton winner does — the frame itself stays queued.
 	for _, i := range idxs {
-		if !t.alive[i] || t.queue[i] == 0 {
+		if !e.contends(i) {
 			continue
 		}
 		if count[e.slotChoice[i]] > 1 {
@@ -995,49 +1198,7 @@ func (e *engine) runWindowCell(w *netWorker, ci int) {
 		case 1:
 			acc.singletonSlots++
 			rs.SingletonSlots++
-			i := winner[s]
-			var mr mac.Result
-			var elapsed, air int64
-			if e.analytic {
-				mr = e.analyticFrame(w, i)
-				elapsed, air = mr.ElapsedBytes, mr.AirtimeBytes
-			} else {
-				mr = e.runFrame(w, i)
-				elapsed, air = mr.ElapsedBytes, mr.AirtimeBytes
-				if e.fade != nil {
-					// A chunk at rate multiplier m occupies chunkAir/m
-					// byte-times: shift the exchange's clock and airtime
-					// by the rates the adapter actually used, and deliver
-					// the end-of-frame verdict the frame-probing policies
-					// learn from.
-					extra := w.fv.frameExtraBytes(e.chunkAir)
-					elapsed += extra
-					air += extra
-					w.fv.endFrame(mr.FramesDelivered == 1)
-					w.fv.unbind()
-				}
-			}
-			t.queue[i]--
-			t.stats[i].AirtimeBytes += air
-			rb += elapsed
-			if mr.FramesDelivered == 1 {
-				t.stats[i].FramesDelivered++
-				rs.FramesDelivered++
-				acc.goodputBytes += mr.GoodputBytes
-			} else {
-				// Undelivered after MaxAttempts: re-queue for a later
-				// round (unless the open-loop queue refilled).
-				if int(t.queue[i]) < e.sc.QueueCap {
-					t.queue[i]++
-				} else {
-					t.stats[i].FramesDropped++
-				}
-			}
-			// Energy is settled once at round end; record how long this
-			// tag spent transmitting so its harvest and draw can be
-			// adjusted there.
-			t.txCount[i]++
-			t.txDt[i] += float64(elapsed) * e.secondsPerByte
+			rb += e.serveSlot(w, acc, rs, winner[s])
 		default:
 			acc.collisionSlots++
 			rs.CollisionSlots++
@@ -1046,6 +1207,77 @@ func (e *engine) runWindowCell(w *netWorker, ci int) {
 		}
 	}
 	acc.windowBytes = rb
+}
+
+// serveSlot carries tag i's head-of-line frame through one singleton
+// slot — the MAC exchange, queue movement, delivery accounting, and
+// the congestion controller's delivery/failure feedback — and returns
+// the slot's elapsed byte-time. Shared by the ALOHA and
+// policy-scheduled window paths; everything written is owned by the
+// calling cell. Part of the round loop guarded by
+// TestRoundLoopAllocFree and TestShardedRoundLoopAllocFree.
+//
+//fdlint:parallel
+//fdlint:noalloc
+func (e *engine) serveSlot(w *netWorker, acc *cellAcc, rs *ReaderStats, i int32) int64 {
+	t := &e.tags
+	var mr mac.Result
+	var elapsed, air int64
+	if e.analytic {
+		mr = e.analyticFrame(w, i)
+		elapsed, air = mr.ElapsedBytes, mr.AirtimeBytes
+	} else {
+		mr = e.runFrame(w, i)
+		elapsed, air = mr.ElapsedBytes, mr.AirtimeBytes
+		if e.fade != nil {
+			// A chunk at rate multiplier m occupies chunkAir/m
+			// byte-times: shift the exchange's clock and airtime
+			// by the rates the adapter actually used, and deliver
+			// the end-of-frame verdict the frame-probing policies
+			// learn from.
+			extra := w.fv.frameExtraBytes(e.chunkAir)
+			elapsed += extra
+			air += extra
+			w.fv.endFrame(mr.FramesDelivered == 1)
+			w.fv.unbind()
+		}
+	}
+	t.queue[i]--
+	t.stats[i].AirtimeBytes += air
+	t.stats[i].MACAttempts += mr.Attempts
+	if mr.FramesDelivered == 1 {
+		t.stats[i].FramesDelivered++
+		rs.FramesDelivered++
+		acc.goodputBytes += mr.GoodputBytes
+		if c := e.cong; c != nil {
+			c.onDelivery(int(i), e.curRound)
+		}
+	} else if c := e.cong; c != nil {
+		// MAC-attempt exhaustion is a loss event: the frame parks on
+		// the retx queue under multiplicative decrease and backoff
+		// instead of hammering the cell again next round.
+		c.lossEvent(int(i), e.curRound)
+		c.park(w, t, int(i), e.curRound)
+	} else {
+		// Undelivered after MaxAttempts: re-queue for a later
+		// round (unless the open-loop queue refilled).
+		if int(t.queue[i]) < e.sc.QueueCap {
+			t.queue[i]++
+		} else {
+			t.stats[i].FramesDropped++
+		}
+	}
+	if s := e.sched; s != nil && t.queue[i] > 0 {
+		// The departed head exposes the next frame; it starts aging
+		// from the round it became head.
+		s.backlogSince[i] = int32(e.curRound)
+	}
+	// Energy is settled once at round end; record how long this
+	// tag spent transmitting so its harvest and draw can be
+	// adjusted there.
+	t.txCount[i]++
+	t.txDt[i] += float64(elapsed) * e.secondsPerByte
+	return elapsed
 }
 
 // String summarises a run for logs.

@@ -40,6 +40,9 @@ const (
 	phaseSettle
 	// phaseDrain finalises per-tag stats; shards are tag ranges.
 	phaseDrain
+	// phaseCong runs the per-round congestion pass (RTO expiry, retx
+	// re-admission, pacing eligibility); shards are tag ranges.
+	phaseCong
 )
 
 // tagShardLen is the tag-range shard size for the per-tag phases:
@@ -79,6 +82,10 @@ type netWorker struct {
 	// Slot histogram scratch for runWindowCell.
 	slotCount  []int32
 	slotWinner []int32
+	// Grant-list scratch for runPolicyCell (nil under PolicyAloha):
+	// the top-ContentionWindow contenders by policy metric.
+	grantIdx    []int32
+	grantMetric []float64
 }
 
 type pool struct {
@@ -119,6 +126,10 @@ func (p *pool) start(e *engine, workers int) {
 		w.fd.Prime()
 		if e.fade != nil {
 			w.fv.init(e, w.iid)
+		}
+		if e.sched != nil {
+			w.grantIdx = make([]int32, 0, cw)
+			w.grantMetric = make([]float64, 0, cw)
 		}
 		p.workers[i] = w
 	}
@@ -202,6 +213,8 @@ func (p *pool) runPhase(w *netWorker, ph phaseKind) {
 				e.settleShard(lo, hi)
 			case phaseDrain:
 				e.drainShard(lo, hi)
+			case phaseCong:
+				e.congShard(w, lo, hi)
 			}
 		}
 	}

@@ -323,6 +323,10 @@ type fadeView struct {
 	h        complex128
 	gainDB   float64
 	prevRate int
+	// extraP is the cell's interference-burst loss for the current
+	// frame (set by runFrame after bind; 0 with faults disabled),
+	// composed into every chunk's loss probability.
+	extraP float64
 
 	// Per-frame scratch, reset by beginFrame and read by the engine
 	// right after each MAC exchange.
@@ -353,6 +357,7 @@ func (v *fadeView) bind(i int) {
 	v.fbBER = v.t.fbBER[i]
 	v.adapter = f.adapter(i)
 	v.prevRate = int(f.prevRate[i])
+	v.extraP = 0
 }
 
 // unbind writes the mutated row state back.
@@ -390,7 +395,11 @@ func (v *fadeView) Chunk() bool {
 	}
 	r := v.rates[ri]
 	snr := v.meanSNR + v.gainDB
-	v.iid.P = rateadapt.ChunkLossProb(r, snr)
+	p := rateadapt.ChunkLossProb(r, snr)
+	if v.extraP > 0 {
+		p += (1 - p) * v.extraP
+	}
+	v.iid.P = p
 	lostChunk := v.iid.Chunk()
 
 	v.frameChunks++

@@ -54,6 +54,17 @@ type ReaderSpec struct {
 	// the sign is free to act as the explicit-zero sentinel, mirroring
 	// ReqSNRZero.
 	IsolationdB float64 `json:"isolation_db"`
+	// Policy selects how each reader admits contenders into its window:
+	// PolicyAloha (default) lets every backlogged tag draw a contention
+	// slot; PolicyFIFO, PolicyPropFair and PolicyDeadline switch to
+	// reader-driven polling — up to ContentionWindow collision-free
+	// grants per round, ordered by the policy metric (see
+	// congestion.go).
+	Policy string `json:"policy,omitempty"`
+	// DeadlineRounds is PolicyDeadline's per-frame service deadline
+	// (default 16 rounds): a head-of-line frame older than this is
+	// dropped instead of served.
+	DeadlineRounds int `json:"deadline_rounds,omitempty"`
 }
 
 func (r *ReaderSpec) applyDefaults(radiusM float64) {
@@ -75,6 +86,12 @@ func (r *ReaderSpec) applyDefaults(radiusM float64) {
 	case r.IsolationdB == 0:
 		r.IsolationdB = 20
 	}
+	if r.Policy == "" {
+		r.Policy = PolicyAloha
+	}
+	if r.Policy == PolicyDeadline && r.DeadlineRounds == 0 {
+		r.DeadlineRounds = 16
+	}
 }
 
 func (r ReaderSpec) validate() error {
@@ -95,6 +112,19 @@ func (r ReaderSpec) validate() error {
 	}
 	if r.IsolationdB > 200 {
 		return fmt.Errorf("netsim: channel isolation %g dB unreasonably large", r.IsolationdB)
+	}
+	switch r.Policy {
+	case PolicyAloha, PolicyFIFO, PolicyPropFair, PolicyDeadline:
+	default:
+		return fmt.Errorf("netsim: unknown reader policy %q (want %s, %s, %s or %s)",
+			r.Policy, PolicyAloha, PolicyFIFO, PolicyPropFair, PolicyDeadline)
+	}
+	if r.DeadlineRounds != 0 && r.Policy != PolicyDeadline {
+		return fmt.Errorf("netsim: deadline_rounds set but policy is %q (want %s)",
+			r.Policy, PolicyDeadline)
+	}
+	if r.DeadlineRounds < 0 {
+		return fmt.Errorf("netsim: deadline_rounds %d negative", r.DeadlineRounds)
 	}
 	return nil
 }
@@ -151,4 +181,21 @@ type ReaderStats struct {
 	// SingletonSlots / CollisionSlots classify this reader's non-idle
 	// contention slots.
 	SingletonSlots, CollisionSlots int64
+	// QueueDepth is the residual backlog (queued plus parked-for-retx
+	// frames) of this reader's associated tags when the run ended — a
+	// hotspot indicator: nonzero depth under closed-loop traffic means
+	// the cell never drained.
+	QueueDepth int64
+	// SaturationOnset is the 1-based round at which this reader's cell
+	// first saturated (non-idle slot occupancy ≥ 95%); 0 if it never
+	// did. RecoveryRound is the first round AFTER onset at which
+	// occupancy fell back to ≤ 50%; 0 if it never recovered. The
+	// hysteresis gap keeps boundary flapping out of both counters.
+	SaturationOnset, RecoveryRound int
+	// OutageRounds / InterferenceRounds count the rounds this reader
+	// spent down or under an interference burst (fault injection).
+	OutageRounds, InterferenceRounds int
+	// Timeouts counts congestion RTO expiries charged to this reader's
+	// associated tags (closed-loop runs with congestion enabled).
+	Timeouts int64
 }

@@ -51,6 +51,19 @@ type Scenario struct {
 	// chunk loss — byte-for-byte the engine's pre-adaptation behaviour.
 	RateAdapt RateAdaptSpec `json:"rate_adapt"`
 
+	// Congestion configures optional per-tag closed-loop congestion
+	// control: EWMA RTT with Jacobson RTO, cubic window growth, and a
+	// bounded retransmission queue with exponential backoff. The zero
+	// value keeps the engine's always-eligible behaviour byte-for-byte.
+	Congestion CongestionSpec `json:"congestion"`
+
+	// Faults configures the deterministic fault-injection layer: reader
+	// outages with recovery, interference bursts, and tag churn — either
+	// as explicit scheduled events or seed-derived stochastic hazards.
+	// The zero value injects nothing and leaves existing runs
+	// byte-identical.
+	Faults FaultSpec `json:"faults"`
+
 	// RF plant.
 
 	// FreqHz is the carrier frequency (default 915 MHz).
@@ -182,6 +195,8 @@ func (s *Scenario) ApplyDefaults() {
 	s.Readers.applyDefaults(s.RadiusM)
 	s.Mobility.applyDefaults(s.RadiusM)
 	s.RateAdapt.applyDefaults()
+	s.Congestion.applyDefaults()
+	s.Faults.applyDefaults()
 	if s.FreqHz <= 0 {
 		s.FreqHz = 915e6
 	}
@@ -288,6 +303,12 @@ func (s Scenario) Validate() error {
 	if err := s.RateAdapt.validate(); err != nil {
 		return err
 	}
+	if err := s.Congestion.validate(); err != nil {
+		return err
+	}
+	if err := s.Faults.validate(s.Readers.Count); err != nil {
+		return err
+	}
 	if s.Rho < 0 || s.Rho > 1 {
 		return fmt.Errorf("netsim: rho %g outside [0, 1]", s.Rho)
 	}
@@ -354,6 +375,40 @@ var presets = map[string]Scenario{
 		TxPowerW: 1.0, NoiseW: 1e-8, Rho: 0.9, FeedbackSamplesPerBit: 131072,
 		CapacitanceF: 47e-6, FramesPerTag: 6, MaxRounds: 96,
 		RateAdapt: RateAdaptSpec{Adapter: RateAdaptFD, FadeRho: 0.95},
+	},
+	// congested-dock is the congestion-control showcase: a loading dock
+	// where 48 clustered tags offer more traffic than two aisle readers
+	// can carry (offered load 1.2 frames/tag/round), so queues build,
+	// RTOs fire and cubic windows breathe. Proportional-fair polling
+	// keeps the grant list from starving far tags while the cell rides
+	// the collapse knee.
+	"congested-dock": {
+		Name: "congested-dock", Tags: 48, Topology: TopologyClustered, RadiusM: 10,
+		Clusters: 4, OfferedLoad: 1.2, MaxRounds: 160, QueueCap: 32,
+		CapacitanceF: 47e-6,
+		Readers:      ReaderSpec{Count: 2, Placement: ReaderLine, SpacingM: 10, Policy: PolicyPropFair},
+		Congestion:   CongestionSpec{Controller: CongestionCubic},
+	},
+	// outage-retail is the fault-injection showcase: a four-reader
+	// retail grid under moderate load where reader 1 goes dark for 40
+	// rounds mid-run (its tags re-associate to the strongest surviving
+	// carrier, then return), reader 2 later suffers an interference
+	// burst, and light churn keeps flushing the occasional queue.
+	// Congestion control turns the outage into visible RTO/backoff
+	// dynamics instead of silent stalls.
+	"outage-retail": {
+		Name: "outage-retail", Tags: 32, Topology: TopologyCells, RadiusM: 12,
+		ClusterSpreadM: 2.5, OfferedLoad: 0.4, MaxRounds: 160,
+		CapacitanceF: 47e-6,
+		Readers:      ReaderSpec{Count: 4, Placement: ReaderGrid, SpacingM: 10},
+		Congestion:   CongestionSpec{Controller: CongestionCubic},
+		Faults: FaultSpec{
+			Events: []FaultEvent{
+				{Round: 40, Kind: FaultReaderOutage, Reader: 1, Rounds: 40},
+				{Round: 96, Kind: FaultInterference, Reader: 2, Rounds: 24, LossProb: 0.6},
+			},
+			ChurnRate: 0.002,
+		},
 	},
 	// million is the scale showcase the sharded SoA engine exists for:
 	// a million mobile tags under an 8-reader grid with full-duplex

@@ -39,6 +39,14 @@ type ReaderRound struct {
 	// occupied by non-idle slots this round: 0 for an idle (or
 	// TDM-inactive) cell, approaching 1 as the cell saturates.
 	Saturation float64 `json:"saturation"`
+	// QueueDepth is the total backlog (queued plus retx-parked frames)
+	// of this reader's associated tags after this round — the live
+	// hotspot depth gauge.
+	QueueDepth int64 `json:"queue_depth"`
+	// Down / Interference flag fault-injection state: the reader was
+	// dark, or under an interference burst, during this round.
+	Down         bool `json:"down,omitempty"`
+	Interference bool `json:"interference,omitempty"`
 }
 
 // RoundSnapshot is the per-round observation RunStream hands its sink:
@@ -139,6 +147,7 @@ type streamer struct {
 	prevReaders   []ReaderStats
 	prevRate      []int64
 	curRate       []int64
+	qdepth        []int64
 }
 
 // init sizes the reused buffers once the engine geometry is known.
@@ -146,6 +155,7 @@ func (st *streamer) init(e *engine) {
 	R := len(e.rstats)
 	st.snap.Readers = make([]ReaderRound, R)
 	st.prevReaders = make([]ReaderStats, R)
+	st.qdepth = make([]int64, R)
 	if e.fade != nil {
 		nr := e.fade.nr
 		st.prevRate = make([]int64, nr)
@@ -171,6 +181,7 @@ func (st *streamer) observe(e *engine, res *NetResult, round int) error {
 
 	var offered, delivered, dropped int64
 	alive := 0
+	clear(st.qdepth)
 	for i := range t.stats {
 		ts := &t.stats[i]
 		offered += int64(ts.FramesOffered)
@@ -179,6 +190,11 @@ func (st *streamer) observe(e *engine, res *NetResult, round int) error {
 		if t.alive[i] {
 			alive++
 		}
+		q := int64(t.queue[i])
+		if e.cong != nil {
+			q += int64(e.cong.retxQ[i])
+		}
+		st.qdepth[t.reader[i]] += q
 	}
 	s.FramesOffered, s.FramesDelivered, s.FramesDropped = offered, delivered, dropped
 	s.DeliveredDelta = delivered - st.prevDelivered
@@ -209,6 +225,12 @@ func (st *streamer) observe(e *engine, res *NetResult, round int) error {
 		rr.SingletonDelta = cur.SingletonSlots - prev.SingletonSlots
 		rr.CollisionDelta = cur.CollisionSlots - prev.CollisionSlots
 		rr.Saturation = float64(rr.SingletonDelta+rr.CollisionDelta) / cw
+		rr.QueueDepth = st.qdepth[r]
+		rr.Down, rr.Interference = false, false
+		if flt := e.flt; flt != nil {
+			rr.Down = flt.down[r]
+			rr.Interference = flt.interfUntil[r] != 0
+		}
 		*prev = *cur
 	}
 

@@ -48,6 +48,19 @@ type resultLine struct {
 	RateSwitches      int64   `json:"rate_switches,omitempty"`
 }
 
+// errorLine closes an aborted stream. Mid-run cancellation (server
+// shutdown, run eviction) would otherwise truncate the stream silently
+// — the status line is long gone, so a terminal typed line is the only
+// way to tell a parser "this run did not finish" while keeping the
+// stream pure NDJSON. Client disconnects get one too, best-effort: the
+// write just fails with the connection already down.
+type errorLine struct {
+	Type  string `json:"type"`
+	Error string `json:"error"`
+	// Round is the last round the stream completed before the abort.
+	Round int `json:"round"`
+}
+
 // lineWriter frames marshaled JSON values as NDJSON lines or SSE
 // events and flushes after each one, so clients see rounds live.
 type lineWriter struct {

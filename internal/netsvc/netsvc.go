@@ -353,7 +353,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// The stream has (in general) started: the status line is gone,
 		// so the error is a log line, not a response. Cancellation and
-		// client disconnects land here by design.
+		// client disconnects land here by design. A terminal error line
+		// keeps the stream parseable end to end for clients still
+		// listening (server-side cancellation); when the client itself
+		// disconnected the write fails harmlessly.
+		_ = lw.writeLine("error", &errorLine{Type: "error", Error: err.Error(), Round: int(ri.round)})
 		s.cfg.Log.Printf("run %d: aborted at round %d: %v", ri.id, ri.round, err)
 		return
 	}

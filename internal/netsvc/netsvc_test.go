@@ -406,6 +406,82 @@ func TestCancelRuns(t *testing.T) {
 	waitDrained(t, s)
 }
 
+// TestCancelledStreamEndsWithErrorLine: server-side cancellation must
+// not truncate the NDJSON mid-stream — a client still listening sees a
+// terminal {"type":"error",...} line, every line (including the last)
+// stays valid JSON, and no result line is forged for the unfinished
+// run.
+func TestCancelledStreamEndsWithErrorLine(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 2})
+	resp, err := http.Post(ts.URL+"/runs",
+		"application/json",
+		strings.NewReader(`{"name": "cancelme", "tags": 8, "offered_load": 0.5, "max_rounds": 1000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	// Let the stream prove it is live before pulling the plug.
+	br := bufio.NewReader(resp.Body)
+	first, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("no first line: %v", err)
+	}
+	if !json.Valid(bytes.TrimSuffix(first, []byte("\n"))) {
+		t.Fatalf("first line is not JSON: %q", first)
+	}
+	s.CancelRuns()
+
+	// Drain to EOF: the handler must close the stream with the terminal
+	// error line rather than just dropping the connection mid-round.
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatalf("reading the cancelled stream: %v", err)
+	}
+	waitDrained(t, s)
+
+	all := append(first, rest...)
+	lines := bytes.Split(bytes.TrimSuffix(all, []byte("\n")), []byte("\n"))
+	sawResult := false
+	for i, line := range lines {
+		if !json.Valid(line) {
+			t.Fatalf("line %d of the cancelled stream is not JSON (truncation): %q", i+1, line)
+		}
+		var typed struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &typed); err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		if typed.Type == "result" {
+			sawResult = true
+		}
+		if (typed.Type == "error") != (i == len(lines)-1) {
+			t.Fatalf("line %d/%d has type %q; the error line must be exactly the last line",
+				i+1, len(lines), typed.Type)
+		}
+	}
+	if sawResult {
+		t.Fatal("cancelled run forged a result line")
+	}
+	var el struct {
+		Type  string `json:"type"`
+		Error string `json:"error"`
+		Round int    `json:"round"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &el); err != nil {
+		t.Fatal(err)
+	}
+	if el.Error == "" {
+		t.Fatal("terminal error line carries no error text")
+	}
+	if el.Round < 1 {
+		t.Fatalf("terminal error line reports round %d; the stream had completed at least one", el.Round)
+	}
+}
+
 // TestSeedParsing: bad ?seed= is a 400, and the seed round-trips into
 // the result line.
 func TestSeedParsing(t *testing.T) {

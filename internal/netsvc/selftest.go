@@ -16,12 +16,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/simrand"
 )
 
 // SelfTestConfig dimensions a self-test. Zero fields take defaults.
@@ -151,12 +153,58 @@ func SelfTest(cfg SelfTestConfig, logw io.Writer) error {
 		return fmt.Errorf("selftest: 429 response missing Retry-After header")
 	}
 	rejects429.Add(1)
-	// Disconnect the held clients; every engine must be torn down and
-	// its slot released (the no-leak contract).
-	for _, h := range holds {
-		h.Body.Close()
+	// The rejected client now behaves like a well-mannered one: jittered
+	// exponential backoff seeded from the Retry-After hint, retried until
+	// the request is actually served. The held slots are released shortly
+	// (while the client sleeps out its first window), so the retry both
+	// honors the header and proves reentry succeeds once capacity frees.
+	backoff := time.Second
+	if ra, err := strconv.Atoi(probe.Header.Get("Retry-After")); err == nil && ra > 0 {
+		backoff = time.Duration(ra) * time.Second
 	}
-	stopHold()
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		// Disconnect the held clients; every engine must be torn down
+		// and its slot released (the no-leak contract).
+		for _, h := range holds {
+			h.Body.Close()
+		}
+		stopHold()
+	}()
+	jitter := simrand.New(0x5e1f) // fixed seed: the sleep schedule is reproducible
+	const maxRetry = 10
+	retryAttempts := 0
+	for served := false; !served; {
+		if retryAttempts >= maxRetry {
+			return fmt.Errorf("selftest: 429 retry never served after %d attempts", maxRetry)
+		}
+		retryAttempts++
+		time.Sleep(backoff + time.Duration(jitter.Float64()*0.5*float64(backoff)))
+		resp, err := client.Post(ts.URL+"/runs?preset=lab-bench&seed=7", "application/json", nil)
+		if err != nil {
+			return fmt.Errorf("selftest: 429 retry attempt %d: %w", retryAttempts, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			served = true
+		case http.StatusTooManyRequests:
+			rejects429.Add(1)
+			// Honor a raised hint, then back off exponentially (capped).
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				if hinted := time.Duration(ra) * time.Second; hinted > backoff {
+					backoff = hinted
+				}
+			}
+			if backoff *= 2; backoff > 8*time.Second {
+				backoff = 8 * time.Second
+			}
+		default:
+			return fmt.Errorf("selftest: 429 retry attempt %d: status %d: %s",
+				retryAttempts, resp.StatusCode, bytes.TrimSpace(body))
+		}
+	}
 	deadline := time.Now().Add(10 * time.Second)
 	for srv.ActiveRuns() != 0 {
 		if time.Now().After(deadline) {
@@ -164,7 +212,8 @@ func SelfTest(cfg SelfTestConfig, logw io.Writer) error {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	logf("selftest: admission probe ok (429 + Retry-After with %d slots held; slots released on disconnect)", cfg.MaxConcurrent)
+	logf("selftest: admission probe ok (429 + Retry-After with %d slots held; served after %d backoff retr%s; slots released on disconnect)",
+		cfg.MaxConcurrent, retryAttempts, map[bool]string{true: "y", false: "ies"}[retryAttempts == 1])
 
 	// Phase 2 — concurrent load: Runs simultaneous clients, retrying
 	// on 429 until served, each comparing its stream byte-for-byte
