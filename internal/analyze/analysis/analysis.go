@@ -8,8 +8,9 @@
 // its shapes (field names, Run signature, Reportf) so that swapping the
 // import path to golang.org/x/tools/go/analysis, and the driver to
 // multichecker, is a mechanical change once the dependency is
-// available. Facts, SuggestedFixes and ResultOf are not reproduced:
-// none of the four fdlint analyzers need cross-package state.
+// available. Object facts ARE reproduced (the dataflow analyzers
+// propagate seed-derivation through them); SuggestedFixes and ResultOf
+// are not — no fdlint analyzer needs them.
 package analysis
 
 import (
@@ -17,6 +18,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 )
 
 // Analyzer describes one static check: a name for diagnostics, a doc
@@ -32,7 +34,9 @@ type Analyzer struct {
 }
 
 // Pass presents one package to an Analyzer.Run: parsed files, the
-// type-checked package, and the Report callback.
+// type-checked package, the Report callback, and the object-fact
+// accessors (nil when the driver carries no fact store — facts then
+// simply don't propagate, matching a single-package run).
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -40,6 +44,69 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// ExportObjectFact associates fact with obj for this analyzer;
+	// later passes of the same analyzer (same package or importers, in
+	// dependency order) observe it via ImportObjectFact.
+	ExportObjectFact func(obj types.Object, fact Fact)
+	// ImportObjectFact copies the fact of fact's concrete type
+	// previously exported for obj into *fact, reporting whether one
+	// exists. fact must be a pointer, as with x/tools.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+}
+
+// Fact is cross-function, cross-package information attached to a
+// types.Object, mirroring golang.org/x/tools/go/analysis.Fact: a fact
+// type is any pointer type with an AFact marker method.
+type Fact interface{ AFact() }
+
+// factKey identifies one stored fact: the object it decorates and the
+// fact's concrete type (one fact of each type per object, per
+// analyzer).
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+// FactStore holds the object facts of one analyzer across every
+// package of a driver run. The zero value is not usable; use
+// NewFactStore. Drivers hand each Pass closures over the store so the
+// analyzer itself never sees driver state.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: map[factKey]Fact{}}
+}
+
+// Export records fact for obj, replacing any previous fact of the same
+// concrete type.
+func (s *FactStore) Export(obj types.Object, fact Fact) {
+	s.m[factKey{obj, reflect.TypeOf(fact)}] = fact
+}
+
+// Import copies the stored fact of *fact's concrete type for obj into
+// *fact, reporting whether one was found. fact must be a non-nil
+// pointer (enforced by the same panic x/tools raises).
+func (s *FactStore) Import(obj types.Object, fact Fact) bool {
+	rv := reflect.ValueOf(fact)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		panic(fmt.Sprintf("analysis: ImportObjectFact: got %T, want non-nil pointer", fact))
+	}
+	got, ok := s.m[factKey{obj, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	rv.Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// Bind populates pass's fact accessors with closures over the store.
+func (s *FactStore) Bind(pass *Pass) {
+	pass.ExportObjectFact = s.Export
+	pass.ImportObjectFact = s.Import
 }
 
 // Diagnostic is one finding at a position.

@@ -28,21 +28,32 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/analyze/analysis"
 	"repro/internal/analyze/load"
 )
 
-// Run analyzes the corpus package at <testdata>/src/<pkgpath> with a
-// and verifies its diagnostics against the package's // want comments.
-func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
-	t.Helper()
-	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
-	if _, err := os.Stat(dir); err != nil {
-		t.Fatalf("corpus package %s: %v", pkgpath, err)
-	}
+// loaders shares one loader per testdata root across the Run calls of
+// a test binary, so the module and standard-library dependencies the
+// corpora import are type-checked once instead of once per corpus
+// package. Loaders are not concurrency-safe; the mutex also serializes
+// corpus loading for tests running with t.Parallel.
+var loaders struct {
+	sync.Mutex
+	m map[string]*load.Loader
+}
 
+// loaderFor returns the shared loader rooted at testdata, creating it
+// with the corpus overlay on first use.
+func loaderFor(testdata string) *load.Loader {
+	if loaders.m == nil {
+		loaders.m = map[string]*load.Loader{}
+	}
+	if l, ok := loaders.m[testdata]; ok {
+		return l
+	}
 	l := load.New()
 	l.Overlay = func(path string) (string, bool) {
 		d := filepath.Join(testdata, "src", filepath.FromSlash(path))
@@ -51,6 +62,26 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
 		}
 		return "", false
 	}
+	loaders.m[testdata] = l
+	return l
+}
+
+// Run analyzes the corpus package at <testdata>/src/<pkgpath> with a
+// and verifies its diagnostics against the package's // want comments.
+// The pass carries a fresh fact store, so intra-package fact
+// propagation behaves as under the real driver; cross-package fact
+// corpora are not supported (dependencies are type-checked, not
+// analyzed).
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("corpus package %s: %v", pkgpath, err)
+	}
+
+	loaders.Lock()
+	defer loaders.Unlock()
+	l := loaderFor(testdata)
 	pkg, err := l.LoadDir(pkgpath, dir)
 	if err != nil {
 		t.Fatalf("loading corpus package %s: %v", pkgpath, err)
@@ -62,6 +93,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
 		Pkg: pkg.Types, TypesInfo: pkg.TypesInfo,
 		Report: func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
+	analysis.NewFactStore().Bind(pass)
 	if _, err := a.Run(pass); err != nil {
 		t.Fatalf("%s: %v", a.Name, err)
 	}

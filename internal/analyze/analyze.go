@@ -12,6 +12,14 @@
 //   - sharded: netsim parallel sections touch only parameter-rooted
 //     RNG state; goroutines only in the worker pool; serial-only
 //     streams stay serial.
+//   - streamtree: every *simrand.Source is provably seeded from the
+//     run seed via the blessed split/hash constructors; no literal,
+//     wall-clock, or ambient seeds; no loop element stream aliasing.
+//   - shardwrite: //fdlint:parallel shard bodies write struct-of-arrays
+//     columns only at indices derived from the shard's own range
+//     parameters.
+//   - validatecover: every JSON-tagged scenario field is read by
+//     Validate or carries //fdlint:novalidate REASON.
 package analyze
 
 import (
@@ -20,6 +28,9 @@ import (
 	"repro/internal/analyze/orderedrange"
 	"repro/internal/analyze/purestream"
 	"repro/internal/analyze/sharded"
+	"repro/internal/analyze/shardwrite"
+	"repro/internal/analyze/streamtree"
+	"repro/internal/analyze/validatecover"
 )
 
 // All returns the full fdlint suite in stable order.
@@ -29,5 +40,8 @@ func All() []*analysis.Analyzer {
 		orderedrange.Analyzer,
 		purestream.Analyzer,
 		sharded.Analyzer,
+		shardwrite.Analyzer,
+		streamtree.Analyzer,
+		validatecover.Analyzer,
 	}
 }

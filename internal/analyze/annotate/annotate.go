@@ -17,10 +17,20 @@
 //	                 persistent worker pool (sharded allows `go` here)
 //	serial           the value declared here is a serial-only stream:
 //	                 it must never reach a parallel section
+//	stream-ok REASON suppress one streamtree finding on this line
+//	                 (e.g. a scratch source reseeded before every use)
+//	shard-ok REASON  suppress one shardwrite finding on this line
+//	novalidate REASON  this JSON-tagged scenario field is exempt from
+//	                 the validatecover read requirement
 //
-// Suppression verbs (alloc-ok, ordered) require a reason; a bare
-// suppression is itself a diagnostic — the analyzers enforce that for
-// the verbs they own.
+// Suppression verbs (alloc-ok, ordered, stream-ok, shard-ok,
+// novalidate) require a reason; a bare suppression is itself a
+// diagnostic — the analyzers enforce that for the verbs they own.
+//
+// A comment may carry several directives back to back
+// (`//fdlint:parallel //fdlint:noalloc`); text after a plain `//` that
+// is not a directive prefix (a trailing explanation, a corpus `// want`
+// expectation) is not directive input.
 package annotate
 
 import (
@@ -46,10 +56,47 @@ type Directive struct {
 // Known reports whether verb is a recognized directive verb.
 func Known(verb string) bool {
 	switch verb {
-	case "noalloc", "alloc-ok", "ordered", "parallel", "workerpool", "serial":
+	case "noalloc", "alloc-ok", "ordered", "parallel", "workerpool", "serial",
+		"stream-ok", "shard-ok", "novalidate":
 		return true
 	}
 	return false
+}
+
+// Parse extracts the directives of one comment, handling multiple
+// back-to-back //fdlint: verbs, trailing plain comments, corpus
+// `// want` expectations, and CRLF line endings. Non-directive comments
+// yield nil. Every directive shares the comment's position.
+func Parse(c *ast.Comment) []Directive {
+	text, ok := strings.CutPrefix(c.Text, Prefix)
+	if !ok {
+		return nil
+	}
+	// The go scanner normally strips carriage returns, but be robust to
+	// CRLF text reaching us through other paths (overlays, synthesized
+	// files).
+	text = strings.TrimRight(text, "\r")
+	var out []Directive
+	for {
+		seg := text
+		text = ""
+		if i := strings.Index(seg, "//"); i >= 0 {
+			if after, isDir := strings.CutPrefix(seg[i:], Prefix); isDir {
+				// Another directive follows in the same comment.
+				text = after
+			}
+			// Otherwise: a trailing plain comment (including a corpus
+			// `// want`) ends directive input for this comment.
+			seg = seg[:i]
+		}
+		verb, reason, _ := strings.Cut(strings.TrimSpace(seg), " ")
+		if verb != "" {
+			out = append(out, Directive{Verb: verb, Reason: strings.TrimSpace(reason), Pos: c.Pos()})
+		}
+		if text == "" {
+			return out
+		}
+	}
 }
 
 // File indexes one file's directives by the line they govern.
@@ -68,24 +115,17 @@ func NewFile(fset *token.FileSet, f *ast.File) *File {
 	af := &File{fset: fset, byLine: map[int][]Directive{}}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			text, ok := strings.CutPrefix(c.Text, Prefix)
-			if !ok {
+			ds := Parse(c)
+			if len(ds) == 0 {
 				continue
 			}
-			// A corpus `// want` expectation may share the comment text;
-			// it is metadata for the test harness, not directive input.
-			if i := strings.Index(text, "// want"); i >= 0 {
-				text = text[:i]
-			}
-			verb, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
-			d := Directive{Verb: verb, Reason: strings.TrimSpace(reason), Pos: c.Pos()}
-			af.all = append(af.all, d)
 			line := fset.Position(c.Pos()).Line
 			if startsLine(fset, f, c) {
 				// Standalone comment: governs the following line.
 				line++
 			}
-			af.byLine[line] = append(af.byLine[line], d)
+			af.all = append(af.all, ds...)
+			af.byLine[line] = append(af.byLine[line], ds...)
 		}
 	}
 	return af
@@ -120,7 +160,24 @@ func startsLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
 
 // ForNode returns the directives governing the line node starts on.
 func (af *File) ForNode(n ast.Node) []Directive {
-	return af.byLine[af.fset.Position(n.Pos()).Line]
+	return af.ForPos(n.Pos())
+}
+
+// ForPos returns the directives governing the line containing pos —
+// for clients holding a types.Object position rather than an AST node.
+func (af *File) ForPos(pos token.Pos) []Directive {
+	return af.byLine[af.fset.Position(pos).Line]
+}
+
+// HasAt reports whether a directive with the verb governs the line
+// containing pos, returning it.
+func (af *File) HasAt(pos token.Pos, verb string) (Directive, bool) {
+	for _, d := range af.ForPos(pos) {
+		if d.Verb == verb {
+			return d, true
+		}
+	}
+	return Directive{}, false
 }
 
 // Has reports whether a directive with the verb governs node's line,
@@ -142,10 +199,9 @@ func (af *File) All() []Directive { return af.all }
 func FuncHas(fset *token.FileSet, fd *ast.FuncDecl, verb string) (Directive, bool) {
 	if fd.Doc != nil {
 		for _, c := range fd.Doc.List {
-			if text, ok := strings.CutPrefix(c.Text, Prefix); ok {
-				v, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
-				if v == verb {
-					return Directive{Verb: v, Reason: strings.TrimSpace(reason), Pos: c.Pos()}, true
+			for _, d := range Parse(c) {
+				if d.Verb == verb {
+					return d, true
 				}
 			}
 		}

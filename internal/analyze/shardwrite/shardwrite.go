@@ -1,0 +1,304 @@
+// Package shardwrite closes the gap the sharded analyzer leaves
+// between "no channels in parallel sections" and "no data races":
+// inside a //fdlint:parallel function, writes that reach engine-shared
+// storage (the receiver's struct-of-arrays columns, or aliases of
+// them) must land at indices derived from the shard's own parameters —
+// the range [lo, hi), the cell index, the tag id the dispatcher
+// granted. Cross-index writes (a literal slot, a field-loaded cursor,
+// another shard's variable) and whole-column writes (slice replace,
+// copy/clear/append over a shared column) are flagged.
+//
+// Derivation is the index-provenance lattice over the dataflow
+// def-use chains: parameters are derived roots; arithmetic, slicing,
+// conversions, and calls propagate derivation from their operands;
+// indexing with a derived index narrows shared storage to a
+// shard-owned element (so `acc := &e.cellAcc[ci]` makes *acc and
+// acc.field writes shard-owned).
+//
+// The escape hatch is //fdlint:shard-ok REASON on the offending line,
+// for writes whose ownership argument lives outside the function (a
+// column partitioned by a scheme the lattice cannot see).
+package shardwrite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analyze/analysis"
+	"repro/internal/analyze/annotate"
+	"repro/internal/analyze/dataflow"
+)
+
+// Analyzer is the shardwrite analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardwrite",
+	Doc: "//fdlint:parallel shard bodies write engine-shared struct-of-arrays " +
+		"columns only at indices derived from the shard's own parameters; " +
+		"cross-index and whole-column writes are flagged",
+	Run: run,
+}
+
+// The index-provenance lattice: an expression either is or is not
+// provably derived from the shard's parameters.
+const derived dataflow.Value = 1
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		af := annotate.NewFile(pass.Fset, f)
+		for _, d := range af.All() {
+			if d.Verb == "shard-ok" && d.Reason == "" {
+				pass.Reportf(d.Pos, "//fdlint:shard-ok suppression requires a reason")
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := annotate.FuncHas(pass.Fset, fd, "parallel"); !ok {
+				continue
+			}
+			ck := &checker{pass: pass, af: af, fd: fd}
+			ck.chains = dataflow.New(pass.TypesInfo, fd)
+			ck.eval = dataflow.NewEvaluator(ck.chains, ck.transfer)
+			if !ck.hasIntParam() {
+				// Per-worker prep with no range grant: there is no shard
+				// parameter to derive indices from, so the isolation
+				// argument lives with the caller (sharded still governs
+				// its stream use).
+				continue
+			}
+			ast.Inspect(fd.Body, ck.walk)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	af     *annotate.File
+	fd     *ast.FuncDecl
+	chains *dataflow.Chains
+	eval   *dataflow.Evaluator
+}
+
+// hasIntParam reports whether the function takes at least one
+// integer-typed parameter — the shard's range grant.
+func (ck *checker) hasIntParam() bool {
+	for _, p := range ck.chains.Params() {
+		if isIntegral(p.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ck *checker) walk(n ast.Node) bool {
+	switch v := n.(type) {
+	case *ast.FuncLit:
+		return false
+	case *ast.AssignStmt:
+		for _, lhs := range v.Lhs {
+			ck.checkLvalue(lhs)
+		}
+	case *ast.IncDecStmt:
+		ck.checkLvalue(v.X)
+	case *ast.CallExpr:
+		ck.checkBulkCall(v)
+	}
+	return true
+}
+
+// checkLvalue enforces the write rules on one assignment target:
+// every index step over shared storage must be derived, and a target
+// with no index step must not be shared storage at all.
+func (ck *checker) checkLvalue(lv ast.Expr) {
+	if !ck.hasIndexStep(lv) {
+		if id, ok := ast.Unparen(lv).(*ast.Ident); ok {
+			// Plain local/param rebinding (x := ..., x = append(x, ...)).
+			if obj := ck.chains.Obj(id); obj != nil && !ck.isReceiver(obj) {
+				return
+			}
+		}
+		if ck.shared(lv, map[types.Object]bool{}) && !ck.suppressed(lv) {
+			ck.pass.Reportf(lv.Pos(),
+				"parallel shard writes engine-shared state without an element index: whole-column and shared-field writes race across shards (//fdlint:shard-ok REASON if ownership is external)")
+		}
+		return
+	}
+	ck.checkIndexSteps(lv)
+}
+
+// checkIndexSteps walks the access path and flags every index over
+// shared storage that is not derived from the shard parameters.
+func (ck *checker) checkIndexSteps(e ast.Expr) {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.IndexExpr:
+		if ck.shared(v.X, map[types.Object]bool{}) && ck.eval.Eval(v.Index) != derived && !ck.suppressed(v) {
+			ck.pass.Reportf(v.Index.Pos(),
+				"parallel shard writes a shared column at an index not derived from the shard's own parameters: cross-index writes race across shards (//fdlint:shard-ok REASON if the partition is external)")
+		}
+		ck.checkIndexSteps(v.X)
+	case *ast.SelectorExpr:
+		ck.checkIndexSteps(v.X)
+	case *ast.StarExpr:
+		ck.checkIndexSteps(v.X)
+	}
+}
+
+// checkBulkCall flags copy/clear/append whose destination is shared
+// storage not narrowed to a shard-owned range.
+func (ck *checker) checkBulkCall(call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	if obj, isBuiltin := ck.pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin || obj == nil {
+		return
+	}
+	switch id.Name {
+	case "copy", "clear", "append":
+	default:
+		return
+	}
+	if ck.shared(call.Args[0], map[types.Object]bool{}) && !ck.suppressed(call) {
+		ck.pass.Reportf(call.Args[0].Pos(),
+			"parallel shard applies %s to an engine-shared column: bulk writes race across shards (//fdlint:shard-ok REASON if the range is shard-owned)", id.Name)
+	}
+}
+
+// shared reports whether the expression denotes engine-shared storage
+// NOT narrowed to a shard-owned element: rooted at the receiver or a
+// package-level variable, with no derived index step on the path.
+// Local aliases are chased through their definitions (any shared
+// definition makes the alias shared).
+func (ck *checker) shared(e ast.Expr, visited map[types.Object]bool) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := ck.chains.Obj(v)
+		if obj == nil || visited[obj] {
+			return false
+		}
+		visited[obj] = true
+		if ck.isReceiver(obj) {
+			return true
+		}
+		if ck.chains.IsParam(obj) {
+			// Parameters are the dispatcher's grant to this shard.
+			return false
+		}
+		defs := ck.chains.Defs(obj)
+		if len(defs) == 0 {
+			// Free variable: package-level state is shared; anything
+			// else (a closed-over local) is out of scope here.
+			_, isVar := obj.(*types.Var)
+			return isVar && obj.Parent() == obj.Pkg().Scope()
+		}
+		for _, d := range defs {
+			if d.X != nil && ck.shared(d.X, visited) {
+				return true
+			}
+		}
+		return false
+	case *ast.SelectorExpr:
+		return ck.shared(v.X, visited)
+	case *ast.StarExpr:
+		return ck.shared(v.X, visited)
+	case *ast.UnaryExpr:
+		return ck.shared(v.X, visited)
+	case *ast.IndexExpr:
+		// A derived index narrows shared storage to an element this
+		// shard owns; an unproven index leaves it shared.
+		if ck.eval.Eval(v.Index) == derived {
+			return false
+		}
+		return ck.shared(v.X, visited)
+	case *ast.SliceExpr:
+		if v.Low != nil && v.High != nil &&
+			ck.eval.Eval(v.Low) == derived && ck.eval.Eval(v.High) == derived {
+			return false
+		}
+		return ck.shared(v.X, visited)
+	}
+	return false
+}
+
+// hasIndexStep reports whether the lvalue chain contains an index or
+// slice step.
+func (ck *checker) hasIndexStep(e ast.Expr) bool {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.IndexExpr, *ast.SliceExpr:
+			return true
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return false
+		}
+	}
+}
+
+func (ck *checker) isReceiver(obj types.Object) bool {
+	return ck.chains.Receiver() != nil && obj == ck.chains.Receiver()
+}
+
+// suppressed reports whether a reasoned //fdlint:shard-ok governs the
+// node's line.
+func (ck *checker) suppressed(n ast.Node) bool {
+	d, ok := ck.af.Has(n, "shard-ok")
+	return ok && d.Reason != ""
+}
+
+// transfer is the index-provenance lattice: parameters are derived
+// roots; arithmetic, conversions, slicing, indexing, and calls join
+// their operands' derivation; fields and literals prove nothing.
+func (ck *checker) transfer(e ast.Expr, eval func(ast.Expr) dataflow.Value) dataflow.Value {
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := ck.chains.Obj(v)
+		if obj != nil && ck.chains.IsParam(obj) {
+			return derived
+		}
+		return dataflow.Bottom
+	case *ast.BinaryExpr:
+		return dataflow.Join(eval(v.X), eval(v.Y))
+	case *ast.UnaryExpr:
+		return eval(v.X)
+	case *ast.IndexExpr:
+		// An element selected by a derived index is shard-owned data
+		// (one level of indirection through partition columns:
+		// e.activeCells[ci], e.slotChoice[i]).
+		return dataflow.Join(eval(v.X), eval(v.Index))
+	case *ast.SliceExpr:
+		val := eval(v.X)
+		if v.Low != nil {
+			val = dataflow.Join(val, eval(v.Low))
+		}
+		if v.High != nil {
+			val = dataflow.Join(val, eval(v.High))
+		}
+		return val
+	case *ast.CallExpr:
+		if tv, ok := ck.pass.TypesInfo.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+			return eval(v.Args[0])
+		}
+		val := dataflow.Bottom
+		for _, a := range v.Args {
+			val = dataflow.Join(val, eval(a))
+		}
+		return val
+	}
+	return dataflow.Bottom
+}
+
+// isIntegral reports whether t is an integer type after unwrapping
+// named types.
+func isIntegral(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,17 @@
+package shardwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analysistest"
+	"repro/internal/analyze/shardwrite"
+)
+
+// The corpus proves the analyzer accepts range-parameter indices
+// (directly, through arithmetic and partition-column indirection,
+// and through element-pointer narrowing), exempts worker scratch and
+// shard-owned sub-ranges, flags cross-index and whole-column writes,
+// and honours only reasoned shard-ok suppressions.
+func TestShardwrite(t *testing.T) {
+	analysistest.Run(t, "testdata", shardwrite.Analyzer, "shardwtest/internal/netsim")
+}

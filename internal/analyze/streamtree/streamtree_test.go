@@ -1,0 +1,16 @@
+package streamtree_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analysistest"
+	"repro/internal/analyze/streamtree"
+)
+
+// The corpus proves the analyzer accepts seed-rooted construction
+// (directly, via Mix64, and via DerivesSeed helper facts), flags
+// literal, wall-clock, and unproven seeds, flags loop element
+// aliasing, and honours only reasoned stream-ok suppressions.
+func TestStreamtree(t *testing.T) {
+	analysistest.Run(t, "testdata", streamtree.Analyzer, "streamtest/internal/netsim")
+}

@@ -2,6 +2,7 @@ package analyze_test
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/analyze"
 )
@@ -14,6 +15,7 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and typechecks the whole module")
 	}
+	start := time.Now()
 	findings, err := analyze.Run("", nil, "repro/...")
 	if err != nil {
 		t.Fatalf("running fdlint suite: %v", err)
@@ -24,6 +26,30 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	if len(findings) > 0 {
 		t.Fatalf("fdlint: %d finding(s); the contracts above are documented in README.md \"Static analysis\"", len(findings))
 	}
+	// The perf contract behind the shared loader: the module is listed
+	// and type-checked once, shared by all seven analyzers, so a cold
+	// full-module suite run stays interactive. 3s is ~2x the observed
+	// cold time; a regression past it means per-analyzer reloading (or
+	// an analyzer doing quadratic work) crept back in.
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("full suite run took %v, budget 3s", d)
+	}
+}
+
+// BenchmarkSuite times a full-module suite run on a warm loader — the
+// repeated-Run path the Suite API exists for (the load is shared, so
+// iterations measure analysis, not type-checking).
+func BenchmarkSuite(b *testing.B) {
+	s := analyze.NewSuite("", nil)
+	if _, err := s.Run("repro/..."); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run("repro/..."); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // The suite is stable in size and order: the driver's -list output and
@@ -33,7 +59,8 @@ func TestAllAnalyzers(t *testing.T) {
 	for _, a := range analyze.All() {
 		names = append(names, a.Name)
 	}
-	want := []string{"noalloc", "orderedrange", "purestream", "sharded"}
+	want := []string{"noalloc", "orderedrange", "purestream", "sharded",
+		"shardwrite", "streamtree", "validatecover"}
 	if len(names) != len(want) {
 		t.Fatalf("All() = %v, want %v", names, want)
 	}

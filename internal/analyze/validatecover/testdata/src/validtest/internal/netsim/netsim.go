@@ -1,0 +1,64 @@
+// Package netsim is the validatecover corpus: a miniature Scenario
+// with nested specs exercising the coverage rules — fields read
+// directly by Validate, fields read through nested validate helpers,
+// an unvalidated knob, untagged plumbing, and the novalidate hatch.
+package netsim
+
+import "errors"
+
+// ReaderSpec is a nested spec reached through a slice field.
+type ReaderSpec struct {
+	Count    int     `json:"count"`
+	SpacingM float64 `json:"spacing_m"`
+	Label    string  // untagged plumbing: not a knob
+}
+
+// FaultSpec is a nested spec reached through a pointer field.
+type FaultSpec struct {
+	Rounds int `json:"rounds"`
+	Burst  int `json:"burst"` // want `JSON-tagged field FaultSpec.Burst is never read by Validate`
+}
+
+// Scenario is the corpus scenario.
+type Scenario struct {
+	Name    string  `json:"name"` //fdlint:novalidate free-form label, any string is valid
+	Tags    int     `json:"tags"`
+	Rho     float64 `json:"rho"`
+	Offered float64 `json:"offered_load"` // want `JSON-tagged field Scenario.Offered is never read by Validate`
+	Debug   bool    `json:"-"`
+
+	Readers ReaderSpec `json:"readers"`
+	Faults  *FaultSpec `json:"faults,omitempty"`
+
+	BadHatch int `json:"bad_hatch"` //fdlint:novalidate // want `novalidate exemption requires a reason` `JSON-tagged field Scenario.BadHatch is never read by Validate`
+
+	internalCache []byte // untagged: ignored
+}
+
+// validate bounds-checks the reader layout (reached via Validate).
+func (r *ReaderSpec) validate() error {
+	if r.Count <= 0 {
+		return errors.New("readers.count must be positive")
+	}
+	if r.SpacingM <= 0 {
+		return errors.New("readers.spacing_m must be positive")
+	}
+	return nil
+}
+
+// Validate bounds-checks every knob it knows about.
+func (s *Scenario) Validate() error {
+	if s.Tags <= 0 {
+		return errors.New("tags must be positive")
+	}
+	if s.Rho <= 0 || s.Rho > 1 {
+		return errors.New("rho must be in (0, 1]")
+	}
+	if err := s.Readers.validate(); err != nil {
+		return err
+	}
+	if s.Faults != nil && s.Faults.Rounds <= 0 {
+		return errors.New("faults.rounds must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package validatecover_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analysistest"
+	"repro/internal/analyze/validatecover"
+)
+
+// The corpus proves the analyzer accepts fields read directly by
+// Validate and through nested validate helpers, ignores untagged and
+// json:"-" fields, flags unvalidated knobs on Scenario and nested
+// specs, and honours only reasoned novalidate exemptions.
+func TestValidatecover(t *testing.T) {
+	analysistest.Run(t, "testdata", validatecover.Analyzer, "validtest/internal/netsim")
+}

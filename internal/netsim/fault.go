@@ -142,6 +142,10 @@ func (f FaultSpec) validate(readers int) error {
 		if ev.LossProb < 0 || ev.LossProb > 1 {
 			return fmt.Errorf("netsim: fault event %d: loss_prob %g outside [0, 1]", i, ev.LossProb)
 		}
+		if ev.Rounds < 1 || ev.Rounds > 1<<20 {
+			return fmt.Errorf("netsim: fault event %d: duration %d rounds outside [1, %d] (zero takes the spec default)",
+				i, ev.Rounds, 1<<20)
+		}
 	}
 	for _, p := range []struct {
 		name string

@@ -54,6 +54,12 @@ func (m MobilitySpec) validate() error {
 		return fmt.Errorf("netsim: unknown mobility model %q (want %s or %s)",
 			m.Model, MobilityNone, MobilityWaypoint)
 	}
+	if math.IsNaN(m.StepM) || m.StepM < 1e-6 || m.StepM > 1e4 {
+		return fmt.Errorf("netsim: mobility step %g m outside [1e-6, 1e4]", m.StepM)
+	}
+	if m.EpochRounds < 1 || m.EpochRounds > 1<<20 {
+		return fmt.Errorf("netsim: mobility epoch %d rounds outside [1, %d]", m.EpochRounds, 1<<20)
+	}
 	return nil
 }
 

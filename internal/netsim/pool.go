@@ -115,8 +115,8 @@ func (p *pool) start(e *engine, workers int) {
 	cw := e.sc.ContentionWindow
 	for i := range p.workers {
 		w := &netWorker{
-			lossSrc:    simrand.New(0),
-			protoSrc:   simrand.New(0),
+			lossSrc:    simrand.New(0), //fdlint:stream-ok scratch; SetState-restored from the tag's stream words before every draw
+			protoSrc:   simrand.New(0), //fdlint:stream-ok scratch; SetState-restored from the tag's stream words before every draw
 			params:     e.params,
 			slotCount:  make([]int32, cw),
 			slotWinner: make([]int32, cw),

@@ -341,7 +341,7 @@ func (v *fadeView) init(e *engine, iid *mac.IIDLoss) {
 	v.f = e.fade
 	v.t = &e.tags
 	v.iid = iid
-	v.fadeSrc = simrand.New(0)
+	v.fadeSrc = simrand.New(0) //fdlint:stream-ok scratch; Reseed(fadeSeed(seed, i)) re-roots it per tag before use
 	v.rates = e.fade.rates
 	v.rho = e.fade.rho
 }

@@ -110,6 +110,9 @@ func (r ReaderSpec) validate() error {
 	if r.Count > 64 {
 		return fmt.Errorf("netsim: reader count %d unreasonably large", r.Count)
 	}
+	if math.IsNaN(r.SpacingM) || r.SpacingM < 1e-3 || r.SpacingM > 1e4 {
+		return fmt.Errorf("netsim: reader spacing %g m outside [1e-3, 1e4]", r.SpacingM)
+	}
 	if r.IsolationdB > 200 {
 		return fmt.Errorf("netsim: channel isolation %g dB unreasonably large", r.IsolationdB)
 	}

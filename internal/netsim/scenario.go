@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 )
@@ -16,7 +17,7 @@ import (
 // seeds.
 type Scenario struct {
 	// Name labels the scenario in tables and logs.
-	Name string `json:"name"`
+	Name string `json:"name"` //fdlint:novalidate free-form label; any string is a valid name
 
 	// Deployment geometry.
 
@@ -117,7 +118,7 @@ type Scenario struct {
 	// byte-identical to the exact engine — it is validated against it
 	// within a pinned tolerance. Contention, energy and mobility remain
 	// fully simulated.
-	Analytic bool `json:"analytic"`
+	Analytic bool `json:"analytic"` //fdlint:novalidate boolean mode switch; both values are valid
 
 	// MAC dimensions (shared by every tag).
 
@@ -333,6 +334,54 @@ func (s Scenario) Validate() error {
 	}
 	if s.FeedbackSamplesPerBit < 2 || s.FeedbackSamplesPerBit > 1<<20 {
 		return fmt.Errorf("netsim: feedback samples per bit %d outside [2, %d]", s.FeedbackSamplesPerBit, 1<<20)
+	}
+	// Physical knobs: defaults (ApplyDefaults runs first) land every one
+	// of these in range, so a violation here is an explicit config value.
+	// NaN fails every comparison, so it needs its own rejection; ±Inf
+	// falls out of the bounds.
+	for _, p := range []struct {
+		name   string
+		v      float64
+		lo, hi float64
+	}{
+		{"radius_m", s.RadiusM, 1e-3, 1e4},
+		{"cluster_spread_m", s.ClusterSpreadM, 1e-6, 1e4},
+		{"freq_hz", s.FreqHz, 1e6, 1e11},
+		{"tx_power_w", s.TxPowerW, 1e-6, 100},
+		{"noise_w", s.NoiseW, 1e-21, 1e-3},
+		{"harvester_eff", s.HarvesterEff, 1e-4, 1},
+		{"harvester_floor_w", s.HarvesterFloorW, 1e-15, 1e-3},
+		{"capacitance_f", s.CapacitanceF, 1e-12, 1},
+		{"idle_circuit_w", s.IdleCircuitW, 1e-15, 1e-3},
+		{"tx_energy_j", s.TxEnergyJ, 1e-15, 1e-3},
+		{"bit_rate_bps", s.BitRateBps, 1e3, 1e9},
+		{"start_voltage_v", s.StartVoltageV, 0.1, 100},
+	} {
+		if math.IsNaN(p.v) || p.v < p.lo || p.v > p.hi {
+			return fmt.Errorf("netsim: %s %g outside [%g, %g]", p.name, p.v, p.lo, p.hi)
+		}
+	}
+	// Dimension knobs: post-defaults they are positive, so the checks
+	// bound runaway configs (and the engine's slice sizing) rather than
+	// re-deriving defaults.
+	for _, p := range []struct {
+		name   string
+		v      int
+		lo, hi int
+	}{
+		{"clusters", s.Clusters, 1, 1 << 16},
+		{"frames_per_tag", s.FramesPerTag, 1, 1 << 16},
+		{"max_rounds", s.MaxRounds, 1, 1 << 20},
+		{"contention_window", s.ContentionWindow, 1, 1 << 20},
+		{"queue_cap", s.QueueCap, 1, 1 << 20},
+		{"payload_bytes", s.PayloadBytes, 1, 1 << 20},
+		{"chunk_bytes", s.ChunkBytes, 1, 1 << 16},
+		{"backoff_chunks", s.BackoffChunks, 1, 1 << 16},
+		{"max_attempts", s.MaxAttempts, 1, 1 << 16},
+	} {
+		if p.v < p.lo || p.v > p.hi {
+			return fmt.Errorf("netsim: %s %d outside [%d, %d]", p.name, p.v, p.lo, p.hi)
+		}
 	}
 	return nil
 }
